@@ -1,0 +1,184 @@
+(* Command-line interface to the statistical-simulation framework.
+
+   Subcommands:
+     simulate    run statistical and/or execution-driven simulation
+     profile     print statistical-profile facts (SFG size, MPKI, ...)
+     experiment  regenerate one of the paper's tables/figures
+     list        list workloads and experiments *)
+
+open Cmdliner
+
+let bench_arg =
+  let doc = "Workload name (one of the SPECint stand-ins)." in
+  Arg.(value & opt string "gcc" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let length_arg =
+  let doc = "Reference dynamic instruction stream length." in
+  Arg.(value & opt int 300_000 & info [ "n"; "length" ] ~docv:"N" ~doc)
+
+let syn_arg =
+  let doc = "Synthetic trace target length." in
+  Arg.(value & opt int 40_000 & info [ "s"; "synthetic" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for synthetic trace generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let k_arg =
+  let doc = "SFG order (0-3): blocks are qualified by K predecessors." in
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
+
+let spec_of_name name =
+  match Workload.Suite.find name with
+  | spec -> spec
+  | exception Not_found ->
+    Printf.eprintf "unknown workload %S; try: %s\n" name
+      (String.concat " " Workload.Suite.names);
+    exit 2
+
+let save_arg =
+  let doc = "Write the collected profile to $(docv) (reloadable with simulate --profile)." in
+  Arg.(value & opt (some string) None & info [ "o"; "save" ] ~docv:"FILE" ~doc)
+
+let load_arg =
+  let doc = "Reuse a saved profile instead of re-profiling." in
+  Arg.(value & opt (some string) None & info [ "p"; "profile" ] ~docv:"FILE" ~doc)
+
+let simulate_cmd =
+  let run bench length syn seed k profile_file =
+    let cfg = Config.Machine.baseline in
+    let spec = spec_of_name bench in
+    let stream () = Workload.Suite.stream spec ~length in
+    let eds = Statsim.reference cfg (stream ()) in
+    let ss =
+      match profile_file with
+      | Some path ->
+        let p = Profile.Serialize.load_file path in
+        Statsim.run_profile ~target_length:syn cfg p ~seed
+      | None -> Statsim.run ~k cfg (stream ()) ~target_length:syn ~seed
+    in
+    Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
+    let line name get =
+      Printf.printf "%-22s %10.3f %10.3f %7.1f%%\n" name (get eds) (get ss)
+        (100.0
+        *. Stats.Summary.absolute_error ~reference:(get eds) ~predicted:(get ss))
+    in
+    line "IPC" (fun r -> r.Statsim.ipc);
+    line "EPC" (fun r -> r.Statsim.epc);
+    line "EDP" (fun r -> r.Statsim.edp);
+    Printf.printf "%-22s %10.2f %10.2f\n" "MPKI"
+      (Uarch.Metrics.mpki eds.metrics)
+      (Uarch.Metrics.mpki ss.metrics)
+  in
+  let doc = "compare statistical simulation against the execution-driven reference" in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_arg
+      $ load_arg)
+
+let profile_cmd =
+  let run bench length k save =
+    let cfg = Config.Machine.baseline in
+    let spec = spec_of_name bench in
+    let p = Statsim.profile ~k cfg (Workload.Suite.stream spec ~length) in
+    Printf.printf "%s\n" (Workload.Program.stats (Workload.Suite.program spec));
+    Printf.printf "profiled instructions:   %d\n" p.instructions;
+    Printf.printf "SFG order k:             %d\n" p.k;
+    Printf.printf "SFG nodes:               %d\n" (Profile.Sfg.node_count p.sfg);
+    Printf.printf "mean basic-block size:   %.2f\n"
+      (Profile.Stat_profile.mean_block_size p);
+    Printf.printf "branches / mispredicts:  %d / %d (MPKI %.2f)\n" p.branches
+      p.mispredicts
+      (Profile.Stat_profile.mpki p);
+    (* aggregate locality rates *)
+    let f = ref 0 and l1i = ref 0 and ld = ref 0 and l1d = ref 0 in
+    Profile.Sfg.iter_nodes p.sfg (fun n ->
+        f := !f + n.fetches;
+        l1i := !l1i + n.l1i_misses;
+        ld := !ld + n.loads;
+        l1d := !l1d + n.l1d_misses);
+    let pct a b = 100.0 *. float_of_int a /. float_of_int (max 1 b) in
+    Printf.printf "L1 I-miss rate:          %.2f%%\n" (pct !l1i !f);
+    Printf.printf "L1 D-miss rate:          %.2f%%\n" (pct !l1d !ld);
+    match save with
+    | None -> ()
+    | Some path ->
+      Profile.Serialize.save_file p path;
+      Printf.printf "profile saved to %s\n" path
+  in
+  let doc = "collect a statistical profile and print its headline facts" in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ bench_arg $ length_arg $ k_arg $ save_arg)
+
+let experiment_cmd =
+  let run ids =
+    let ppf = Format.std_formatter in
+    match ids with
+    | [] ->
+      List.iter
+        (fun (e : Experiments.Registry.entry) -> e.run ppf)
+        Experiments.Registry.all
+    | ids ->
+      List.iter
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e.run ppf
+          | None ->
+            Printf.eprintf "unknown experiment %S\n" id;
+            exit 2)
+        ids
+  in
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment id(s).")
+  in
+  let doc = "regenerate one of the paper's tables or figures" in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg)
+
+let dot_cmd =
+  let run bench length k cfg_out sfg_out =
+    let spec = spec_of_name bench in
+    let prog = Workload.Suite.program spec in
+    (match cfg_out with
+    | Some path ->
+      Workload.Cfg_dot.to_file prog path;
+      Printf.printf "CFG written to %s\n" path
+    | None -> ());
+    match sfg_out with
+    | Some path ->
+      let p =
+        Statsim.profile ~k Config.Machine.baseline
+          (Workload.Suite.stream spec ~length)
+      in
+      Profile.Sfg_dot.to_file p path;
+      Printf.printf "SFG written to %s\n" path
+    | None -> ()
+  in
+  let cfg_arg =
+    Arg.(value & opt (some string) None & info [ "cfg" ] ~docv:"FILE"
+           ~doc:"Write the program's control-flow graph as Graphviz dot.")
+  in
+  let sfg_arg =
+    Arg.(value & opt (some string) None & info [ "sfg" ] ~docv:"FILE"
+           ~doc:"Profile the workload and write the SFG as Graphviz dot.")
+  in
+  let doc = "export control-flow / statistical-flow graphs as Graphviz dot" in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ bench_arg $ length_arg $ k_arg $ cfg_arg $ sfg_arg)
+
+let list_cmd =
+  let run () =
+    Printf.printf "workloads:\n  %s\n\nexperiments:\n"
+      (String.concat " " Workload.Suite.names);
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Printf.printf "  %-8s %s\n" e.id e.description)
+      Experiments.Registry.all
+  in
+  let doc = "list available workloads and experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "statistical simulation for processor design studies (ISCA 2004 reproduction)" in
+  let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ simulate_cmd; profile_cmd; experiment_cmd; dot_cmd; list_cmd ]))

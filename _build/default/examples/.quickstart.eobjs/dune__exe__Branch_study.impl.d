@@ -1,0 +1,1 @@
+examples/branch_study.ml: Config List Printf Profile Stats Statsim Uarch Workload

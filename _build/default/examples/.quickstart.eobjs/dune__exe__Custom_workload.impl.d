@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Config Printf Stats Statsim Uarch Workload

@@ -1,0 +1,1 @@
+examples/design_space.ml: Config List Printf Statsim Synth Workload

@@ -1,0 +1,1 @@
+examples/phase_analysis.ml: Config List Printf Profile Simpoint Stats Statsim Synth Uarch Workload

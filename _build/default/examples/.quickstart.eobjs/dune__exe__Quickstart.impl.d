@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Printf Profile Stats Statsim Synth Workload

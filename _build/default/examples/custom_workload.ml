@@ -1,0 +1,82 @@
+(* Bring your own workload: define a Workload.Spec describing the
+   program behaviour you care about (control structure, branch
+   predictability, memory locality, dependency tightness), generate a
+   deterministic synthetic benchmark from it, and study it with both
+   simulators.
+
+   Run with: dune exec examples/custom_workload.exe *)
+
+let streaming_kernel =
+  {
+    Workload.Spec.default with
+    name = "streaming-kernel";
+    n_funcs = 4;
+    func_structs = 5;
+    block_len_mean = 10.0;
+    (* one big hot loop nest with long, predictable trips *)
+    loop_w = 0.4;
+    if_w = 0.1;
+    ifelse_w = 0.05;
+    call_w = 0.05;
+    loop_trip_mean = 64.0;
+    loop_trip_geometric = false;
+    biased_frac = 0.8;
+    bias = 0.97;
+    (* streaming memory: strided walks over a multi-megabyte footprint *)
+    stride_frac = 0.85;
+    stack_frac = 0.05;
+    data_footprint = 8 * 1024 * 1024;
+    n_regions = 4;
+    region_skew = 0.4;
+    chase_frac = 0.0;
+  }
+
+let pointer_chaser =
+  {
+    Workload.Spec.default with
+    name = "pointer-chaser";
+    n_funcs = 6;
+    func_structs = 6;
+    block_len_mean = 4.0;
+    loop_w = 0.2;
+    if_w = 0.25;
+    ifelse_w = 0.15;
+    loop_trip_mean = 6.0;
+    loop_trip_geometric = true;
+    biased_frac = 0.4;
+    random_taken = 0.5;
+    (* serialized dependent loads over a large footprint *)
+    chase_frac = 0.5;
+    stride_frac = 0.05;
+    data_footprint = 16 * 1024 * 1024;
+    region_skew = 0.25;
+    n_regions = 12;
+  }
+
+let study spec =
+  (match Workload.Spec.validate spec with
+  | Ok () -> ()
+  | Error m -> failwith m);
+  let cfg = Config.Machine.baseline in
+  let program = Workload.Program.generate spec ~seed:1234 in
+  let stream () = Workload.Interp.generator program ~seed:99 ~length:120_000 in
+  let eds = Statsim.reference cfg (stream ()) in
+  let ss = Statsim.run cfg (stream ()) ~target_length:15_000 ~seed:5 in
+  Printf.printf "%-18s %s\n" spec.Workload.Spec.name
+    (Workload.Program.stats program);
+  Printf.printf
+    "  EDS:     IPC %.3f  MPKI %.2f  EPC %.2f\n  statsim: IPC %.3f (%.1f%% \
+     err)        EPC %.2f (%.1f%% err)\n\n"
+    eds.Statsim.ipc
+    (Uarch.Metrics.mpki eds.metrics)
+    eds.epc ss.Statsim.ipc
+    (100.0
+    *. Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+         ~predicted:ss.Statsim.ipc)
+    ss.epc
+    (100.0
+    *. Stats.Summary.absolute_error ~reference:eds.epc ~predicted:ss.epc)
+
+let () =
+  study streaming_kernel;
+  study pointer_chaser

@@ -1,0 +1,55 @@
+(* Design-space exploration (the paper's Section 4.6 use case): profile
+   once, then evaluate a grid of window sizes and machine widths with
+   cheap synthetic simulations, ranking design points by energy-delay
+   product. Execution-driven simulation then audits the chosen optimum.
+
+   Run with: dune exec examples/design_space.exe *)
+
+let () =
+  let base = Config.Machine.baseline in
+  let spec = Workload.Suite.find "twolf" in
+  let stream () = Workload.Suite.stream spec ~length:150_000 in
+
+  (* one profile serves every design point: the swept parameters (window,
+     width) are microarchitecture-independent in the profile *)
+  let profile = Statsim.profile base (stream ()) in
+  let trace = Statsim.synthesize ~target_length:15_000 profile ~seed:1 in
+
+  let ruus = [ 16; 32; 64; 128 ] in
+  let widths = [ 2; 4; 8 ] in
+  Printf.printf "EDP of %s across the design grid (lower is better):\n\n"
+    spec.Workload.Spec.name;
+  Printf.printf "%10s" "RUU\\width";
+  List.iter (Printf.printf " %9d") widths;
+  print_newline ();
+
+  let best = ref (infinity, base) in
+  List.iter
+    (fun ruu ->
+      Printf.printf "%10d" ruu;
+      List.iter
+        (fun w ->
+          let cfg =
+            Config.Machine.with_width
+              (Config.Machine.with_window base ~ruu ~lsq:(max 4 (ruu / 2)))
+              w
+          in
+          let r = Statsim.simulate cfg trace in
+          if r.Statsim.edp < fst !best then best := (r.edp, cfg);
+          Printf.printf " %9.2f" r.edp)
+        widths;
+      print_newline ())
+    ruus;
+
+  let best_edp, best_cfg = !best in
+  Printf.printf "\nstatistical simulation picks RUU=%d width=%d (EDP %.2f)\n"
+    best_cfg.ruu_size best_cfg.decode_width best_edp;
+
+  (* audit the chosen point with the detailed simulator *)
+  let eds = Statsim.reference best_cfg (stream ()) in
+  Printf.printf "execution-driven audit of that point: EDP %.2f (IPC %.3f)\n"
+    eds.Statsim.edp eds.ipc;
+  Printf.printf
+    "\n(each grid point cost one %d-instruction synthetic run; the audit \
+     alone simulated %d instructions)\n"
+    (Synth.Trace.length trace) 150_000

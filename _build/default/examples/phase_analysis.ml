@@ -1,0 +1,79 @@
+(* Phase analysis (paper Section 4.4): predict a long execution with
+   several program phases, four different ways:
+
+   - one statistical profile of the whole run;
+   - one profile (and synthetic trace) per phase, combined by CPI;
+   - SimPoint: cluster basic-block vectors, simulate only the
+     representative intervals in detail.
+
+   Run with: dune exec examples/phase_analysis.exe *)
+
+let () =
+  let cfg = Config.Machine.baseline in
+  let spec = Workload.Suite.find "gcc" in
+  let phases = 6 in
+  let total = 600_000 in
+  let make_stream () =
+    (* the same program, re-run with a different data seed per phase:
+       hot paths and footprints shift between phases *)
+    let per = total / phases in
+    let phase = ref 0 in
+    let cur = ref (Workload.Suite.stream ~seed_offset:0 spec ~length:per) in
+    let rec next () =
+      match !cur () with
+      | Some i -> Some i
+      | None ->
+        if !phase + 1 >= phases then None
+        else begin
+          incr phase;
+          cur := Workload.Suite.stream ~seed_offset:(!phase * 7717) spec ~length:per;
+          next ()
+        end
+    in
+    next
+  in
+
+  Printf.printf "reference: execution-driven simulation of %d instructions...\n%!" total;
+  let eds = Uarch.Eds.run cfg (make_stream ()) in
+  let eds_ipc = Uarch.Metrics.ipc eds in
+  Printf.printf "  EDS IPC = %.3f\n\n%!" eds_ipc;
+
+  let report name ipc detailed =
+    Printf.printf "%-22s IPC %.3f  error %5.1f%%  (detailed insts: %s)\n%!" name
+      ipc
+      (100.0 *. Stats.Summary.absolute_error ~reference:eds_ipc ~predicted:ipc)
+      detailed
+  in
+
+  (* one profile over everything *)
+  let p = Statsim.profile cfg (make_stream ()) in
+  let whole = Statsim.run_profile ~target_length:30_000 cfg p ~seed:1 in
+  report "statsim, 1 profile" whole.Statsim.ipc "0 (synthetic only)";
+
+  (* one profile per phase, warm across boundaries *)
+  let per_phase =
+    Profile.Stat_profile.collect_chunked cfg (make_stream ())
+      ~chunk_length:(total / phases)
+  in
+  let metrics =
+    List.map
+      (fun p ->
+        (Statsim.run_profile ~target_length:8_000 cfg p ~seed:1).Statsim.metrics)
+      per_phase
+  in
+  report
+    (Printf.sprintf "statsim, %d profiles" (List.length per_phase))
+    (Synth.Run.mean_ipc metrics) "0 (synthetic only)";
+
+  (* SimPoint *)
+  let sp = Simpoint.analyze ~interval:(total / 50) (make_stream ()) in
+  let sp_ipc = Simpoint.simulate_warm cfg sp ~stream_factory:make_stream in
+  report
+    (Printf.sprintf "SimPoint, %d clusters" sp.clusters)
+    sp_ipc
+    (string_of_int (Simpoint.simulated_instructions sp));
+
+  Printf.printf
+    "\nSimPoint needs detailed simulation of its representatives; \
+     statistical simulation needs none after profiling — that is the \
+     trade-off of the paper's Figure 8.\n"

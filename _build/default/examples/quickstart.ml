@@ -1,0 +1,51 @@
+(* Quickstart: the full statistical-simulation flow on one workload.
+
+   Run with: dune exec examples/quickstart.exe
+
+   Steps (paper Figure 1):
+   1. profile a program execution into a statistical flow graph;
+   2. generate a synthetic trace a factor R shorter;
+   3. simulate the synthetic trace — and compare with the slow
+      execution-driven reference. *)
+
+let () =
+  let cfg = Config.Machine.baseline in
+  let spec = Workload.Suite.find "gcc" in
+  let reference_length = 200_000 in
+  let stream () = Workload.Suite.stream spec ~length:reference_length in
+
+  Printf.printf "workload: %s\n%!" (Workload.Program.stats (Workload.Suite.program spec));
+
+  (* step 1: statistical profiling (order-1 SFG, delayed branch update) *)
+  let profile = Statsim.profile ~k:1 cfg (stream ()) in
+  Printf.printf "profiled %d instructions into an SFG with %d nodes\n%!"
+    profile.instructions
+    (Profile.Sfg.node_count profile.sfg);
+
+  (* step 2: synthetic trace generation *)
+  let trace = Statsim.synthesize ~target_length:25_000 profile ~seed:42 in
+  Printf.printf "synthetic trace: %d instructions (reduction factor R = %d)\n%!"
+    (Synth.Trace.length trace) trace.reduction;
+
+  (* step 3: synthetic trace simulation *)
+  let ss = Statsim.simulate cfg trace in
+
+  (* the slow reference *)
+  let eds = Statsim.reference cfg (stream ()) in
+
+  let err get =
+    100.0 *. Stats.Summary.absolute_error ~reference:(get eds) ~predicted:(get ss)
+  in
+  Printf.printf "\n%-28s %10s %10s %8s\n" "" "EDS" "statsim" "error";
+  Printf.printf "%-28s %10.3f %10.3f %7.1f%%\n" "IPC"
+    eds.Statsim.ipc ss.Statsim.ipc
+    (err (fun r -> r.Statsim.ipc));
+  Printf.printf "%-28s %10.2f %10.2f %7.1f%%\n" "EPC (Watt/cycle)" eds.epc ss.epc
+    (err (fun r -> r.epc));
+  Printf.printf "%-28s %10.2f %10.2f %7.1f%%\n" "EDP" eds.edp ss.edp
+    (err (fun r -> r.edp));
+  Printf.printf
+    "\nthe synthetic run simulated %d instructions instead of %d (%.0fx \
+     fewer)\n"
+    (Synth.Trace.length trace) reference_length
+    (float_of_int reference_length /. float_of_int (Synth.Trace.length trace))

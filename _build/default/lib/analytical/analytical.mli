@@ -1,0 +1,32 @@
+(** First-order analytical performance model, in the spirit of the
+    analytical approaches the paper cites as the other fast-estimation
+    family (Noonburg & Shen; Sorin et al.; later formalized by
+    Karkhanis & Smith's interval model).
+
+    The model consumes the same statistical profile as the synthetic
+    trace generator but computes IPC in closed form instead of
+    simulating: a base CPI from issue width and the dependency-distance
+    distribution, plus independent penalty terms for branch
+    mispredictions and memory events, each weighted by its per-
+    instruction probability and partially overlapped according to the
+    window size. No trace, no pipeline — microseconds per design point.
+
+    It exists as a *baseline*: Section 5 of the paper argues such models
+    either stay first-order (fast, crude) or blow up in state space;
+    the [analytical] experiment quantifies where it loses against
+    statistical simulation. *)
+
+type breakdown = {
+  base_cpi : float;  (** width + dataflow component *)
+  branch_cpi : float;  (** misprediction and redirect stalls *)
+  imem_cpi : float;  (** instruction-fetch miss stalls *)
+  dmem_cpi : float;  (** load miss stalls after overlap *)
+  total_cpi : float;
+}
+
+val predict : Config.Machine.t -> Profile.Stat_profile.t -> breakdown
+(** Raises [Invalid_argument] on an empty profile. *)
+
+val ipc : Config.Machine.t -> Profile.Stat_profile.t -> float
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

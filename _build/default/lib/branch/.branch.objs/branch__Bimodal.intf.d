@@ -1,0 +1,1 @@
+lib/branch/bimodal.mli:

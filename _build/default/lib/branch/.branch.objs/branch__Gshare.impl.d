@@ -1,0 +1,1 @@
+lib/branch/gshare.ml: Bytes Char

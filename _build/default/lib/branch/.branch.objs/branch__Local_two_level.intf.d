@@ -1,0 +1,1 @@
+lib/branch/local_two_level.mli:

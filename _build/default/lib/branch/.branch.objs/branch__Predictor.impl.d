@@ -1,0 +1,1 @@
+lib/branch/predictor.ml: Bimodal Btb Config Gshare Isa Local_two_level Ras

@@ -1,0 +1,8 @@
+(** Bimodal direction predictor: a table of 2-bit saturating counters
+    indexed by branch PC. One component of Table 2's hybrid predictor. *)
+
+type t
+
+val create : entries:int -> t
+val predict : t -> pc:int -> bool
+val update : t -> pc:int -> taken:bool -> unit

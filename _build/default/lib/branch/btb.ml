@@ -1,0 +1,58 @@
+type t = {
+  sets : int;
+  assoc : int;
+  tags : int array;
+  targets : int array;
+  stamps : int array;
+  mutable clock : int;
+}
+
+let create ~sets ~assoc =
+  if sets <= 0 || assoc <= 0 then invalid_arg "Btb.create";
+  {
+    sets;
+    assoc;
+    tags = Array.make (sets * assoc) (-1);
+    targets = Array.make (sets * assoc) 0;
+    stamps = Array.make (sets * assoc) 0;
+    clock = 0;
+  }
+
+let base_of t pc = pc mod t.sets * t.assoc
+
+let find t base pc =
+  let rec go w =
+    if w = t.assoc then -1 else if t.tags.(base + w) = pc then w else go (w + 1)
+  in
+  go 0
+
+let lookup t ~pc =
+  let base = base_of t pc in
+  let w = find t base pc in
+  if w < 0 then None
+  else begin
+    t.clock <- t.clock + 1;
+    t.stamps.(base + w) <- t.clock;
+    Some t.targets.(base + w)
+  end
+
+let update t ~pc ~target =
+  t.clock <- t.clock + 1;
+  let base = base_of t pc in
+  let w = find t base pc in
+  let w =
+    if w >= 0 then w
+    else begin
+      let victim = ref 0 in
+      for i = 1 to t.assoc - 1 do
+        if t.tags.(base + !victim) >= 0
+           && (t.tags.(base + i) < 0
+              || t.stamps.(base + i) < t.stamps.(base + !victim))
+        then victim := i
+      done;
+      !victim
+    end
+  in
+  t.tags.(base + w) <- pc;
+  t.targets.(base + w) <- target;
+  t.stamps.(base + w) <- t.clock

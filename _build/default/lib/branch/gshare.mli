@@ -1,0 +1,13 @@
+(** Gshare direction predictor (McFarling): a single pattern table of
+    2-bit counters indexed by the global branch history XOR-ed with the
+    branch PC. An alternative direction component to Table 2's hybrid
+    local predictor, used for robustness studies of the methodology. *)
+
+type t
+
+val create : entries:int -> hist_bits:int -> t
+val predict : t -> pc:int -> bool
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Updates the counter selected by the current global history, then
+    shifts the outcome into the history register. *)

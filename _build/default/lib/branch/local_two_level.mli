@@ -1,0 +1,15 @@
+(** Two-level local-history direction predictor (Table 2): a first-level
+    table of per-branch local histories and a second-level pattern table
+    of 2-bit counters, indexed by the local history XOR-ed with the
+    branch PC. *)
+
+type t
+
+val create :
+  hist_entries:int -> pattern_entries:int -> hist_bits:int -> t
+
+val predict : t -> pc:int -> bool
+
+val update : t -> pc:int -> taken:bool -> unit
+(** Updates the pattern counter selected by the *current* history, then
+    shifts the outcome into the local history register. *)

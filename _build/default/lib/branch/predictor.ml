@@ -1,0 +1,137 @@
+type direction =
+  | D_hybrid of {
+      meta : Bimodal.t;  (* 2-bit chooser: >=2 selects the two-level side *)
+      bimodal : Bimodal.t;
+      local : Local_two_level.t;
+    }
+  | D_gshare of Gshare.t
+  | D_bimodal of Bimodal.t
+
+type t = {
+  dir : direction;
+  btb : Btb.t;
+  mutable ras : Ras.t;
+  mutable lookups : int;
+  mutable mispredicts : int;
+  mutable redirects : int;
+  mutable taken : int;
+}
+
+type resolution = Correct | Fetch_redirect | Mispredict
+
+let resolution_to_string = function
+  | Correct -> "correct"
+  | Fetch_redirect -> "fetch_redirect"
+  | Mispredict -> "mispredict"
+
+let create (c : Config.Machine.bpred) =
+  let dir =
+    match c.kind with
+    | Config.Machine.Hybrid_local ->
+      D_hybrid
+        {
+          meta = Bimodal.create ~entries:c.meta_entries;
+          bimodal = Bimodal.create ~entries:c.bimodal_entries;
+          local =
+            Local_two_level.create ~hist_entries:c.local_hist_entries
+              ~pattern_entries:c.local_pattern_entries
+              ~hist_bits:c.local_hist_bits;
+        }
+    | Config.Machine.Gshare ->
+      D_gshare
+        (Gshare.create ~entries:c.local_pattern_entries
+           ~hist_bits:c.local_hist_bits)
+    | Config.Machine.Bimodal_only ->
+      D_bimodal (Bimodal.create ~entries:c.bimodal_entries)
+  in
+  {
+    dir;
+    btb = Btb.create ~sets:c.btb_sets ~assoc:c.btb_assoc;
+    ras = Ras.create ~entries:c.ras_entries;
+    lookups = 0;
+    mispredicts = 0;
+    redirects = 0;
+    taken = 0;
+  }
+
+let predict_direction t pc =
+  match t.dir with
+  | D_hybrid { meta; bimodal; local } ->
+    if Bimodal.predict meta ~pc then Local_two_level.predict local ~pc
+    else Bimodal.predict bimodal ~pc
+  | D_gshare g -> Gshare.predict g ~pc
+  | D_bimodal b -> Bimodal.predict b ~pc
+
+let btb_correct t pc target =
+  match Btb.lookup t.btb ~pc with
+  | Some predicted -> predicted = target
+  | None -> false
+
+let classify t ~pc ~(branch : Isa.Dyn_inst.branch) =
+  match branch.kind with
+  | Cond ->
+    let dir = predict_direction t pc in
+    if dir <> branch.taken then Mispredict
+    else if branch.taken && not (btb_correct t pc branch.target) then
+      Fetch_redirect
+    else Correct
+  | Jump | Call ->
+    if btb_correct t pc branch.target then Correct else Fetch_redirect
+  | Return -> (
+    match Ras.pop t.ras with
+    | Some addr when addr = branch.target -> Correct
+    | Some _ | None -> Mispredict)
+  | Indirect ->
+    if btb_correct t pc branch.target then Correct else Mispredict
+
+let lookup t ~pc ~branch =
+  t.lookups <- t.lookups + 1;
+  let r = classify t ~pc ~branch in
+  (* speculative RAS push at fetch for calls (pop happens in classify) *)
+  (match branch.kind with
+  | Call -> Ras.push t.ras branch.next_pc
+  | Cond | Jump | Return | Indirect -> ());
+  if branch.taken then t.taken <- t.taken + 1;
+  (match r with
+  | Mispredict -> t.mispredicts <- t.mispredicts + 1
+  | Fetch_redirect -> t.redirects <- t.redirects + 1
+  | Correct -> ());
+  r
+
+let update t ~pc ~(branch : Isa.Dyn_inst.branch) =
+  (match branch.kind with
+  | Cond -> (
+    match t.dir with
+    | D_hybrid { meta; bimodal; local } ->
+      (* Train the chooser with the components' current opinions; when
+         they disagree, move it toward whichever was right. *)
+      let bim = Bimodal.predict bimodal ~pc in
+      let loc = Local_two_level.predict local ~pc in
+      if bim <> loc then Bimodal.update meta ~pc ~taken:(loc = branch.taken);
+      Bimodal.update bimodal ~pc ~taken:branch.taken;
+      Local_two_level.update local ~pc ~taken:branch.taken
+    | D_gshare g -> Gshare.update g ~pc ~taken:branch.taken
+    | D_bimodal b -> Bimodal.update b ~pc ~taken:branch.taken)
+  | Jump | Call | Return | Indirect -> ());
+  if branch.taken && branch.kind <> Return then
+    Btb.update t.btb ~pc ~target:branch.target
+
+let lookups t = t.lookups
+let mispredicts t = t.mispredicts
+let redirects t = t.redirects
+let taken_count t = t.taken
+
+let rate num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let mispredict_rate t = rate t.mispredicts t.lookups
+let redirect_rate t = rate t.redirects t.lookups
+let taken_rate t = rate t.taken t.lookups
+
+let reset_stats t =
+  t.lookups <- 0;
+  t.mispredicts <- 0;
+  t.redirects <- 0;
+  t.taken <- 0
+
+let ras_copy t = Ras.copy t.ras
+let ras_restore t ras = t.ras <- Ras.copy ras

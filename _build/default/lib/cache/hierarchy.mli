@@ -1,0 +1,49 @@
+(** The full memory hierarchy of Table 2: split L1 caches, a unified L2
+    (with misses attributed separately to instruction and data accesses,
+    as the paper's footnote 1 requires), I/D TLBs and main memory.
+
+    Each access returns an {!outcome} — exactly the locality-event bits
+    the statistical profile records — plus the resulting access latency
+    used by the execution-driven pipeline. *)
+
+type outcome = {
+  l1_miss : bool;
+  l2_miss : bool;  (** meaningful only when [l1_miss] *)
+  tlb_miss : bool;
+}
+
+val hit : outcome
+(** All-hit outcome (perfect-cache mode). *)
+
+type t
+
+val create : Config.Machine.t -> t
+
+val ifetch : t -> int -> outcome * int
+(** Instruction fetch at a PC: probes I-TLB, L1 I-cache and (on miss) L2.
+    Returns the outcome and total fetch latency in cycles. *)
+
+val dload : t -> int -> outcome * int
+(** Data load at an address: probes D-TLB, L1 D-cache, L2. *)
+
+val dstore : t -> int -> outcome * int
+(** Data store: write-allocate; the returned latency models store-buffer
+    drain cost and is usually hidden by the LSQ. *)
+
+val latency_of_outcome : Config.Machine.t -> instruction:bool -> outcome -> int
+(** The latency the synthetic-trace simulator assigns to pre-recorded
+    outcome bits (Section 2.3's special actions): this is the single
+    place where outcome bits translate to cycles, shared by the EDS and
+    synthetic paths so both charge identical costs. *)
+
+(** Aggregate miss-rate accounting (the profile's six probabilities). *)
+
+val l1i_miss_rate : t -> float
+val l1d_miss_rate : t -> float
+val l2i_miss_rate : t -> float
+(** L2 misses on instruction-induced accesses over instruction fetches. *)
+
+val l2d_miss_rate : t -> float
+val itlb_miss_rate : t -> float
+val dtlb_miss_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/config/machine.ml: Format Isa

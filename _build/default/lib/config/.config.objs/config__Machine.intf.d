@@ -1,0 +1,1 @@
+lib/config/machine.mli: Format Isa

@@ -1,0 +1,182 @@
+type cache = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  hit_latency : int;
+}
+
+type tlb = { entries : int; tlb_assoc : int; page_bytes : int; miss_penalty : int }
+
+type predictor_kind = Hybrid_local | Gshare | Bimodal_only
+
+type bpred = {
+  kind : predictor_kind;
+  meta_entries : int;
+  bimodal_entries : int;
+  local_hist_entries : int;
+  local_pattern_entries : int;
+  local_hist_bits : int;
+  btb_sets : int;
+  btb_assoc : int;
+  ras_entries : int;
+}
+
+type fu_pool = {
+  int_alu : int;
+  int_mult_div : int;
+  mem_ports : int;
+  fp_alu : int;
+  fp_mult_div : int;
+}
+
+type t = {
+  icache : cache;
+  dcache : cache;
+  l2 : cache;
+  itlb : tlb;
+  dtlb : tlb;
+  mem_latency : int;
+  bpred : bpred;
+  mispredict_restart : int;
+  fetch_redirect_penalty : int;
+  ifq_size : int;
+  ruu_size : int;
+  lsq_size : int;
+  fetch_speed : int;
+  decode_width : int;
+  issue_width : int;
+  commit_width : int;
+  fu : fu_pool;
+  in_order : bool;
+}
+
+let kb n = n * 1024
+
+let baseline =
+  {
+    icache = { size_bytes = kb 8; assoc = 2; block_bytes = 32; hit_latency = 1 };
+    dcache = { size_bytes = kb 16; assoc = 4; block_bytes = 32; hit_latency = 2 };
+    l2 = { size_bytes = kb 1024; assoc = 4; block_bytes = 64; hit_latency = 20 };
+    itlb = { entries = 32; tlb_assoc = 8; page_bytes = kb 4; miss_penalty = 30 };
+    dtlb = { entries = 32; tlb_assoc = 8; page_bytes = kb 4; miss_penalty = 30 };
+    mem_latency = 150;
+    bpred =
+      {
+        kind = Hybrid_local;
+        meta_entries = 8192;
+        bimodal_entries = 8192;
+        local_hist_entries = 8192;
+        local_pattern_entries = 8192;
+        local_hist_bits = 13;
+        btb_sets = 128;
+        btb_assoc = 4;
+        ras_entries = 64;
+      };
+    mispredict_restart = 3;
+    fetch_redirect_penalty = 2;
+    ifq_size = 32;
+    ruu_size = 128;
+    lsq_size = 32;
+    fetch_speed = 2;
+    decode_width = 8;
+    issue_width = 8;
+    commit_width = 8;
+    fu = { int_alu = 8; int_mult_div = 2; mem_ports = 4; fp_alu = 2; fp_mult_div = 2 };
+    in_order = false;
+  }
+
+(* SimpleScalar's out-of-the-box configuration, used for the HLS
+   comparison (Section 4.3): 4-wide, 16-entry RUU, 8-entry LSQ, 16KB L1
+   caches, bimodal predictor sizes left as in [baseline] scaled down. *)
+let hls_baseline =
+  {
+    baseline with
+    icache = { size_bytes = kb 16; assoc = 1; block_bytes = 32; hit_latency = 1 };
+    dcache = { size_bytes = kb 16; assoc = 4; block_bytes = 32; hit_latency = 1 };
+    l2 = { size_bytes = kb 256; assoc = 4; block_bytes = 64; hit_latency = 6 };
+    bpred =
+      {
+        kind = Hybrid_local;
+        meta_entries = 2048;
+        bimodal_entries = 2048;
+        local_hist_entries = 2048;
+        local_pattern_entries = 2048;
+        local_hist_bits = 11;
+        btb_sets = 128;
+        btb_assoc = 4;
+        ras_entries = 8;
+      };
+    ifq_size = 4;
+    ruu_size = 16;
+    lsq_size = 8;
+    fetch_speed = 1;
+    decode_width = 4;
+    issue_width = 4;
+    commit_width = 4;
+    fu = { int_alu = 4; int_mult_div = 1; mem_ports = 2; fp_alu = 4; fp_mult_div = 1 };
+  }
+
+let fu_count t (c : Isa.Iclass.t) =
+  match c with
+  | Int_alu | Int_branch -> t.fu.int_alu
+  | Int_mult | Int_div -> t.fu.int_mult_div
+  | Load | Store -> t.fu.mem_ports
+  | Fp_alu | Fp_branch -> t.fu.fp_alu
+  | Fp_mult | Fp_div | Fp_sqrt -> t.fu.fp_mult_div
+  | Indirect_branch -> t.fu.int_alu
+
+let op_latency (c : Isa.Iclass.t) =
+  match c with
+  | Int_alu | Int_branch | Indirect_branch -> 1
+  | Load | Store -> 1 (* address generation; memory time added on top *)
+  | Int_mult -> 3
+  | Int_div -> 20
+  | Fp_alu | Fp_branch -> 2
+  | Fp_mult -> 4
+  | Fp_div -> 12
+  | Fp_sqrt -> 24
+
+let scale_size n factor = max 1 (int_of_float (float_of_int n *. factor))
+
+let scale_caches t factor =
+  let sc (c : cache) = { c with size_bytes = scale_size c.size_bytes factor } in
+  { t with icache = sc t.icache; dcache = sc t.dcache; l2 = sc t.l2 }
+
+let scale_bpred t factor =
+  let b = t.bpred in
+  {
+    t with
+    bpred =
+      {
+        b with
+        meta_entries = scale_size b.meta_entries factor;
+        bimodal_entries = scale_size b.bimodal_entries factor;
+        local_hist_entries = scale_size b.local_hist_entries factor;
+        local_pattern_entries = scale_size b.local_pattern_entries factor;
+      };
+  }
+
+let with_window t ~ruu ~lsq = { t with ruu_size = ruu; lsq_size = lsq }
+
+let with_width t w =
+  { t with decode_width = w; issue_width = w; commit_width = w }
+
+let with_ifq t n = { t with ifq_size = n }
+
+let in_order_variant t = { t with in_order = true }
+
+let with_predictor t kind = { t with bpred = { t.bpred with kind } }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>machine: %d-wide (fetch x%d), IFQ=%d RUU=%d LSQ=%d@,\
+     I$=%dKB/%dw D$=%dKB/%dw L2=%dKB/%dw mem=%dcy@,\
+     bpred: meta=%d bim=%d local=%dx%d BTB=%dx%d RAS=%d@]"
+    t.decode_width t.fetch_speed t.ifq_size t.ruu_size t.lsq_size
+    (t.icache.size_bytes / 1024)
+    t.icache.assoc
+    (t.dcache.size_bytes / 1024)
+    t.dcache.assoc (t.l2.size_bytes / 1024) t.l2.assoc t.mem_latency
+    t.bpred.meta_entries t.bpred.bimodal_entries t.bpred.local_hist_entries
+    t.bpred.local_pattern_entries t.bpred.btb_sets t.bpred.btb_assoc
+    t.bpred.ras_entries

@@ -1,0 +1,107 @@
+(** Machine configuration records: the paper's Table 2 baseline plus the
+    derived configurations used by the sensitivity sweeps of Table 4 and
+    the design-space exploration of Section 4.6. *)
+
+type cache = {
+  size_bytes : int;
+  assoc : int;
+  block_bytes : int;
+  hit_latency : int;  (** cycles *)
+}
+
+type tlb = {
+  entries : int;
+  tlb_assoc : int;
+  page_bytes : int;
+  miss_penalty : int;  (** cycles to walk on a TLB miss *)
+}
+
+type predictor_kind =
+  | Hybrid_local
+      (** Table 2's predictor: meta-chooser between bimodal and a
+          two-level local predictor *)
+  | Gshare  (** global-history XOR PC into one pattern table *)
+  | Bimodal_only
+
+type bpred = {
+  kind : predictor_kind;
+  meta_entries : int;  (** hybrid selector table *)
+  bimodal_entries : int;
+  local_hist_entries : int;  (** two-level predictor level-1 table *)
+  local_pattern_entries : int;  (** two-level predictor level-2 table *)
+  local_hist_bits : int;  (** local history length *)
+  btb_sets : int;
+  btb_assoc : int;
+  ras_entries : int;
+}
+
+type fu_pool = {
+  int_alu : int;
+  int_mult_div : int;
+  mem_ports : int;  (** load/store units *)
+  fp_alu : int;
+  fp_mult_div : int;
+}
+
+type t = {
+  icache : cache;
+  dcache : cache;
+  l2 : cache;  (** unified; misses counted separately for I and D *)
+  itlb : tlb;
+  dtlb : tlb;
+  mem_latency : int;  (** round-trip to main memory, cycles *)
+  bpred : bpred;
+  mispredict_restart : int;
+      (** extra front-end cycles between branch resolution and the first
+          correct-path fetch; the remainder of the paper's 14-cycle penalty
+          emerges from pipeline refill *)
+  fetch_redirect_penalty : int;
+      (** fetch bubble for a correct-direction BTB miss *)
+  ifq_size : int;
+  ruu_size : int;
+  lsq_size : int;
+  fetch_speed : int;  (** fetch width = decode_width * fetch_speed *)
+  decode_width : int;
+  issue_width : int;
+  commit_width : int;
+  fu : fu_pool;
+  in_order : bool;
+      (** issue instructions in program order and model WAW/WAR hazards
+          (no register renaming) — the extension the paper sketches in
+          Section 2.1.1 for in-order or rename-limited machines *)
+}
+
+val baseline : t
+(** Table 2 of the paper. *)
+
+val hls_baseline : t
+(** The simplified SimpleScalar default configuration used for the HLS
+    comparison of Section 4.3 (4-wide, 16KB L1 caches, smaller RUU). *)
+
+val fu_count : t -> Isa.Iclass.t -> int
+(** Number of functional units able to execute a class. *)
+
+val op_latency : Isa.Iclass.t -> int
+(** Execution latency in cycles, excluding memory access time for
+    loads/stores (added by the cache model). *)
+
+val scale_caches : t -> float -> t
+(** Multiply all cache capacities by a power-of-two factor (Table 4's
+    cache sweep: base/4 ... base*4). *)
+
+val scale_bpred : t -> float -> t
+(** Multiply all predictor table sizes by a power-of-two factor. *)
+
+val with_window : t -> ruu:int -> lsq:int -> t
+val with_width : t -> int -> t
+(** Set decode = issue = commit width. *)
+
+val with_ifq : t -> int -> t
+
+val in_order_variant : t -> t
+(** An in-order-issue version of a configuration: same structures, no
+    register renaming (WAW/WAR hazards enforced). *)
+
+val with_predictor : t -> predictor_kind -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Config Exp_common Format List Printf Profile Stats Statsim Synth Uarch Workload

@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Analytical Config Exp_common Format Hls List Stats Statsim Uarch Workload

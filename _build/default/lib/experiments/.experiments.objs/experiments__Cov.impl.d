@@ -1,0 +1,1 @@
+lib/experiments/cov.ml: Array Config Exp_common Format List Printf Stats Statsim Workload

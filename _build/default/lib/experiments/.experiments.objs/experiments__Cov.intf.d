@@ -1,0 +1,1 @@
+lib/experiments/cov.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/dse.ml: Config Exp_common Float Format List Power Statsim Synth Uarch Workload

@@ -1,0 +1,1 @@
+lib/experiments/dse.mli: Config Format

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Config Exp_common Format List Profile Uarch Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Config Exp_common Format List Stats Statsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Config Exp_common Format List Profile Stats Statsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Config Exp_common Format List Stats Statsim Workload

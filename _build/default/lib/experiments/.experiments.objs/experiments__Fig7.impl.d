@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Config Exp_common Format Hls List Stats Statsim Uarch Workload

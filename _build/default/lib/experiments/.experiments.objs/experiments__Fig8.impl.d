@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Config Exp_common Format List Profile Simpoint Stats Statsim Synth Uarch Workload

@@ -1,0 +1,1 @@
+lib/experiments/fp_suite.ml: Config Exp_common Format List Stats Statsim Workload

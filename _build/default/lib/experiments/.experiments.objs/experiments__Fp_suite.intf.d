@@ -1,0 +1,1 @@
+lib/experiments/fp_suite.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/inorder.ml: Config Exp_common Format List Stats Statsim Workload

@@ -1,0 +1,1 @@
+lib/experiments/predictors.ml: Config Exp_common Format List Stats Statsim Uarch Workload

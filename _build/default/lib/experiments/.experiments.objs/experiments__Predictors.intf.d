@@ -1,0 +1,1 @@
+lib/experiments/predictors.mli: Config Format

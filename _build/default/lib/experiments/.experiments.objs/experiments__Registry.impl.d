@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Baselines Cov Dse Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Format Fp_suite Inorder List Predictors Speed Table1 Table3 Table4

@@ -1,0 +1,1 @@
+lib/experiments/speed.ml: Config Exp_common Float Format List Option Statsim Synth Sys Uarch Workload

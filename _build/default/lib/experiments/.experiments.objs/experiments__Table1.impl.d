@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Config Exp_common Format List Uarch Workload

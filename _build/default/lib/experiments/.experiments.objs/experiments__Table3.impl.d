@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Array Config Exp_common Fig4 Format List Profile Statsim Workload

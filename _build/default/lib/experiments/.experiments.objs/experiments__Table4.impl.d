@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Config Exp_common Format List Power Printf Profile Stats Statsim Uarch

@@ -1,0 +1,152 @@
+let fifo_sizes = [ 1; 4; 8; 16; 32; 64 ]
+let dep_caps = [ 32; 64; 128; 256; 512 ]
+
+(* trimmed sizes: ablations run many profile+simulate rounds *)
+let abl_ref_length = max 50_000 (Exp_common.ref_length / 2)
+let abl_syn_length = max 10_000 (Exp_common.syn_length / 2)
+let abl_benches = [ "gzip"; "eon"; "gcc"; "twolf" ]
+
+let cfg = Config.Machine.baseline
+
+type fifo_row = { bench : string; eds_mpki : float; by_fifo : (int * float) list }
+
+let fifo_sweep () =
+  List.map
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let stream () = Exp_common.stream ~length:abl_ref_length spec in
+      let eds = Uarch.Eds.run cfg (stream ()) in
+      let by_fifo =
+        List.map
+          (fun size ->
+            let p =
+              Statsim.profile
+                ~branch_mode:
+                  (Profile.Branch_profiler.Delayed
+                     { fifo_size = size; squash_refetch = false })
+                cfg (stream ())
+            in
+            (size, Profile.Stat_profile.mpki p))
+          fifo_sizes
+      in
+      { bench = name; eds_mpki = Uarch.Metrics.mpki eds; by_fifo })
+    abl_benches
+
+type cap_row = { bench : string; by_cap : (int * float) list }
+
+let cap_sweep () =
+  List.map
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let stream () = Exp_common.stream ~length:abl_ref_length spec in
+      let eds = Statsim.reference cfg (stream ()) in
+      let by_cap =
+        List.map
+          (fun cap ->
+            let p = Statsim.profile ~dep_cap:cap cfg (stream ()) in
+            let ss =
+              Statsim.run_profile ~target_length:abl_syn_length cfg p
+                ~seed:Exp_common.seed
+            in
+            ( cap,
+              Exp_common.pct
+                (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+                   ~predicted:ss.Statsim.ipc) ))
+          dep_caps
+      in
+      { bench = name; by_cap })
+    abl_benches
+
+type wp_row = {
+  bench : string;
+  eds_ipc : float;
+  no_wp_err : float;
+  wp_err : float;
+}
+
+let wrong_path_compare () =
+  List.map
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let stream () = Exp_common.stream ~length:abl_ref_length spec in
+      let eds = Statsim.reference cfg (stream ()) in
+      let p = Statsim.profile cfg (stream ()) in
+      let trace =
+        Statsim.synthesize ~target_length:abl_syn_length p ~seed:Exp_common.seed
+      in
+      let err ?wrong_path_locality () =
+        let m = Synth.Run.run ?wrong_path_locality cfg trace in
+        Exp_common.pct
+          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+             ~predicted:(Uarch.Metrics.ipc m))
+      in
+      {
+        bench = name;
+        eds_ipc = eds.Statsim.ipc;
+        no_wp_err = err ();
+        wp_err = err ~wrong_path_locality:true ();
+      })
+    abl_benches
+
+type squash_row = {
+  bench : string;
+  eds : float;
+  memoized : float;
+  repredict : float;
+}
+
+let squash_compare () =
+  List.map
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let stream () = Exp_common.stream ~length:abl_ref_length spec in
+      let eds = Uarch.Eds.run cfg (stream ()) in
+      let mpki squash =
+        Profile.Stat_profile.mpki
+          (Statsim.profile
+             ~branch_mode:
+               (Profile.Branch_profiler.Delayed
+                  { fifo_size = cfg.ifq_size; squash_refetch = squash })
+             cfg (stream ()))
+      in
+      {
+        bench = name;
+        eds = Uarch.Metrics.mpki eds;
+        memoized = mpki false;
+        repredict = mpki true;
+      })
+    abl_benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Ablations (repository addition; not a paper artifact) ==@.";
+  Format.fprintf ppf
+    "-- delayed-update FIFO size vs profiled branch MPKI (EDS is the \
+     target; the IFQ size is %d) --@."
+    cfg.ifq_size;
+  Exp_common.row_header ppf "bench"
+    ("EDS" :: List.map (fun s -> Printf.sprintf "fifo=%d" s) fifo_sizes);
+  List.iter
+    (fun (r : fifo_row) ->
+      Exp_common.row ppf r.bench (r.eds_mpki :: List.map snd r.by_fifo))
+    (fifo_sweep ());
+  Format.fprintf ppf
+    "-- dependency-distance cap vs IPC prediction error (%%) --@.";
+  Exp_common.row_header ppf "bench"
+    (List.map (fun c -> Printf.sprintf "cap=%d" c) dep_caps);
+  List.iter
+    (fun (r : cap_row) -> Exp_common.row ppf r.bench (List.map snd r.by_cap))
+    (cap_sweep ());
+  Format.fprintf ppf
+    "-- wrong-path locality charging in the synthetic simulator (IPC err      %%) --@.";
+  Exp_common.row_header ppf "bench" [ "IPC.eds"; "paper"; "with-wp" ];
+  List.iter
+    (fun (r : wp_row) ->
+      Exp_common.row ppf r.bench [ r.eds_ipc; r.no_wp_err; r.wp_err ])
+    (wrong_path_compare ());
+  Format.fprintf ppf "-- FIFO squash semantics vs profiled MPKI --@.";
+  Exp_common.row_header ppf "bench" [ "EDS"; "memoized"; "repredict" ];
+  List.iter
+    (fun r -> Exp_common.row ppf r.bench [ r.eds; r.memoized; r.repredict ])
+    (squash_compare ());
+  Format.fprintf ppf "@."

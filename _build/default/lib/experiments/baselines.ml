@@ -1,0 +1,55 @@
+type row = {
+  bench : string;
+  eds_ipc : float;
+  analytical_err : float;
+  hls_err : float;
+  sfg_err : float;
+}
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let stream () = Exp_common.stream spec in
+      let eds = Statsim.reference cfg (stream ()) in
+      let err predicted =
+        Exp_common.pct
+          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc ~predicted)
+      in
+      let p = Statsim.profile cfg (stream ()) in
+      let sfg_ipc =
+        (Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+           ~seed:Exp_common.seed)
+          .Statsim.ipc
+      in
+      let hls_ipc =
+        Uarch.Metrics.ipc
+          (Hls.run cfg (stream ()) ~target_length:Exp_common.syn_length
+             ~seed:Exp_common.seed)
+      in
+      {
+        bench = spec.Workload.Spec.name;
+        eds_ipc = eds.Statsim.ipc;
+        analytical_err = err (Analytical.ipc cfg p);
+        hls_err = err hls_ipc;
+        sfg_err = err sfg_ipc;
+      })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Baselines (repo addition): analytical vs HLS vs SFG statistical \
+     simulation (IPC error %%) ==@.";
+  Exp_common.row_header ppf "bench"
+    [ "IPC.eds"; "analytic"; "HLS"; "SFG" ];
+  let rows = compute () in
+  List.iter
+    (fun r ->
+      Exp_common.row ppf r.bench
+        [ r.eds_ipc; r.analytical_err; r.hls_err; r.sfg_err ])
+    rows;
+  let avg f = Stats.Summary.mean (List.map f rows) in
+  Format.fprintf ppf "avg: analytical %.1f%%  HLS %.1f%%  SFG %.1f%%@.@."
+    (avg (fun r -> r.analytical_err))
+    (avg (fun r -> r.hls_err))
+    (avg (fun r -> r.sfg_err))

@@ -1,0 +1,21 @@
+(** Extended baseline comparison (repository addition, extending
+    Figure 7): IPC prediction error of three fast-estimation techniques
+    against execution-driven simulation on the baseline machine —
+
+    - the first-order analytical model (the paper's related-work family);
+    - HLS (global statistics, synthetic trace);
+    - the SFG-based statistical simulation of this paper.
+
+    Expected ordering: analytical is crudest, HLS middles, the SFG
+    framework wins. *)
+
+type row = {
+  bench : string;
+  eds_ipc : float;
+  analytical_err : float;  (** percent *)
+  hls_err : float;
+  sfg_err : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,14 @@
+(** Section 4.1: convergence of statistical simulation. The coefficient
+    of variation of IPC across synthetic traces generated with different
+    random seeds, as a function of synthetic trace length. The paper
+    reports ~4% at 100K, 2% at 200K, 1.5% at 500K, 1% at 1M synthetic
+    instructions (for 100M-instruction profiles); lengths here are
+    proportionally scaled. *)
+
+val lengths : int list
+val seeds_per_length : int
+
+type row = { bench : string; cov : float array (** percent, per length *) }
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,69 @@
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | None -> 1.0
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> f
+    | Some _ | None ->
+      prerr_endline "warning: ignoring invalid REPRO_SCALE";
+      1.0)
+
+let scaled n = int_of_float (float_of_int n *. scale)
+let ref_length = scaled 300_000
+let syn_length = scaled 40_000
+
+let benches =
+  match Sys.getenv_opt "REPRO_BENCHES" with
+  | None | Some "" -> Workload.Suite.all
+  | Some names ->
+    String.split_on_char ',' names
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map Workload.Suite.find
+
+let stream ?seed_offset ?(length = ref_length) spec =
+  Workload.Suite.stream ?seed_offset spec ~length
+
+let seed = 20040609 (* ISCA 2004 *)
+
+let phased_stream spec ~phases ~length =
+  if phases <= 0 then invalid_arg "Exp_common.phased_stream";
+  let per_phase = max 1 (length / phases) in
+  let phase = ref 0 in
+  let cur = ref (stream ~seed_offset:0 ~length:per_phase spec) in
+  let rec next () =
+    match !cur () with
+    | Some i -> Some i
+    | None ->
+      if !phase + 1 >= phases then None
+      else begin
+        incr phase;
+        cur := stream ~seed_offset:(!phase * 7717) ~length:per_phase spec;
+        next ()
+      end
+  in
+  next
+
+let col_width = 9
+
+let row_header ppf label cols =
+  Format.fprintf ppf "%-9s" label;
+  List.iter (fun c -> Format.fprintf ppf " %*s" col_width c) cols;
+  Format.fprintf ppf "@."
+
+let row ppf label values =
+  Format.fprintf ppf "%-9s" label;
+  List.iter
+    (fun v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Format.fprintf ppf " %*d" col_width (int_of_float v)
+      else Format.fprintf ppf " %*.3f" col_width v)
+    values;
+  Format.fprintf ppf "@."
+
+let row_s ppf label values =
+  Format.fprintf ppf "%-9s" label;
+  List.iter (fun v -> Format.fprintf ppf " %*s" col_width v) values;
+  Format.fprintf ppf "@."
+
+let pct = Stats.Summary.percent

@@ -1,0 +1,47 @@
+(** Shared experiment infrastructure: workload iteration, stream sizing
+    (scaled by the [REPRO_SCALE] environment variable), and table
+    printing helpers.
+
+    The paper profiles 100M-instruction SimPoint samples; this
+    reproduction defaults to 300k-instruction reference streams and
+    ~40k-instruction synthetic traces, which Section 4.1's convergence
+    argument shows is inside the converged regime for the scaled-down
+    workloads. Set [REPRO_SCALE=4] (etc.) to multiply every stream. *)
+
+val scale : float
+(** Parsed once from [REPRO_SCALE]; defaults to 1.0. *)
+
+val ref_length : int
+(** Reference (EDS / profiling) stream length. *)
+
+val syn_length : int
+(** Synthetic trace target length. *)
+
+val benches : Workload.Spec.t list
+(** The ten SPECint stand-ins, or the subset named in [REPRO_BENCHES]
+    (comma-separated). *)
+
+val stream : ?seed_offset:int -> ?length:int -> Workload.Spec.t -> unit -> Isa.Dyn_inst.t option
+(** Fresh reference stream for a workload at the experiment scale. *)
+
+val seed : int
+(** Base synthetic-generation seed (deterministic). *)
+
+val phased_stream :
+  Workload.Spec.t ->
+  phases:int ->
+  length:int ->
+  unit ->
+  Isa.Dyn_inst.t option
+(** A long execution with [phases] distinct program phases: each phase
+    runs the same program from its entry under a different data-behaviour
+    seed, so hot paths, branch biases and footprints shift between
+    phases — the setting of the paper's Section 4.4. *)
+
+(** Table printing: fixed-width columns with a header. *)
+
+val row_header : Format.formatter -> string -> string list -> unit
+val row : Format.formatter -> string -> float list -> unit
+val row_s : Format.formatter -> string -> string list -> unit
+val pct : float -> float
+(** ratio -> percent *)

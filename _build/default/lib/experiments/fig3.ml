@@ -1,0 +1,37 @@
+type row = {
+  bench : string;
+  eds : float;
+  immediate : float;
+  delayed : float;
+}
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let eds = Uarch.Eds.run cfg (Exp_common.stream spec) in
+      let prof mode =
+        Profile.Stat_profile.collect ~branch_mode:mode cfg
+          (Exp_common.stream spec)
+      in
+      {
+        bench = spec.Workload.Spec.name;
+        eds = Uarch.Metrics.mpki eds;
+        immediate =
+          Profile.Stat_profile.mpki (prof Profile.Branch_profiler.Immediate);
+        delayed =
+          Profile.Stat_profile.mpki
+            (prof (Profile.Branch_profiler.default_delayed cfg));
+      })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Figure 3: branch MPKI — EDS vs immediate vs delayed profiling ==@.";
+  Exp_common.row_header ppf "bench" [ "EDS"; "immediate"; "delayed" ];
+  List.iter
+    (fun r -> Exp_common.row ppf r.bench [ r.eds; r.immediate; r.delayed ])
+    (compute ());
+  Format.fprintf ppf
+    "(expect: delayed ~= EDS; immediate underestimates on \
+     pattern/loop-heavy benchmarks)@.@."

@@ -1,0 +1,15 @@
+(** Figure 3: branch mispredictions per 1,000 instructions under
+    (i) execution-driven simulation with speculative update at dispatch,
+    (ii) branch profiling with immediate update, and (iii) the paper's
+    branch profiling with delayed update. The delayed profiler should
+    track EDS closely where immediate update diverges. *)
+
+type row = {
+  bench : string;
+  eds : float;
+  immediate : float;
+  delayed : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

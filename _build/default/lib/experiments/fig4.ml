@@ -1,0 +1,52 @@
+type row = { bench : string; eds_ipc : float; errors : float array }
+
+let ks = [ 0; 1; 2; 3 ]
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let eds =
+        Statsim.reference ~perfect_caches:true ~perfect_bpred:true cfg
+          (Exp_common.stream spec)
+      in
+      let errors =
+        ks
+        |> List.map (fun k ->
+               let p =
+                 Statsim.profile ~k ~perfect_caches:true ~perfect_bpred:true
+                   cfg (Exp_common.stream spec)
+               in
+               let ss =
+                 Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+                   ~seed:Exp_common.seed
+               in
+               Exp_common.pct
+                 (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+                    ~predicted:ss.Statsim.ipc))
+        |> Array.of_list
+      in
+      { bench = spec.Workload.Spec.name; eds_ipc = eds.Statsim.ipc; errors })
+    Exp_common.benches
+
+let average rows =
+  let n = List.length ks in
+  let acc = Array.make n 0.0 in
+  List.iter
+    (fun r -> Array.iteri (fun i e -> acc.(i) <- acc.(i) +. e) r.errors)
+    rows;
+  Array.map (fun s -> s /. float_of_int (max 1 (List.length rows))) acc
+
+let run ppf =
+  Format.fprintf ppf
+    "== Figure 4: IPC error (%%) vs SFG order k (perfect caches & branch \
+     prediction) ==@.";
+  Exp_common.row_header ppf "bench" [ "IPC.eds"; "k=0"; "k=1"; "k=2"; "k=3" ];
+  let rows = compute () in
+  List.iter
+    (fun r ->
+      Exp_common.row ppf r.bench (r.eds_ipc :: Array.to_list r.errors))
+    rows;
+  Exp_common.row ppf "avg" (0.0 :: Array.to_list (average rows));
+  Format.fprintf ppf
+    "(paper: k=0 errs up to 35%%; k>=1 below ~2%% on average)@.@."

@@ -1,0 +1,14 @@
+(** Figure 4: IPC prediction error as a function of the SFG order k
+    (0..3), assuming perfect caches and perfect branch prediction.
+    The paper's finding: k = 0 can err up to 35%; k >= 1 is accurate
+    (< 2% average) and k = 1 suffices. *)
+
+type row = { bench : string; eds_ipc : float; errors : float array (** k=0..3, percent *) }
+
+val ks : int list
+
+val compute : unit -> row list
+val run : Format.formatter -> unit
+
+val average : row list -> float array
+(** Mean error per k, in percent. *)

@@ -1,0 +1,9 @@
+(** Figure 5: IPC prediction error with immediate-update vs
+    delayed-update branch profiling, assuming perfect caches. Delayed
+    profiling should cut the error on the benchmarks whose Figure 3
+    discrepancy was largest. *)
+
+type row = { bench : string; immediate : float; delayed : float (** percent *) }
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

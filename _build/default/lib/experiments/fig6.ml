@@ -1,0 +1,59 @@
+type row = {
+  bench : string;
+  eds : Statsim.result;
+  ss : Statsim.result;
+  ipc_err : float;
+  epc_err : float;
+  edp_err : float;
+}
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let eds = Statsim.reference cfg (Exp_common.stream spec) in
+      let ss =
+        Statsim.run cfg (Exp_common.stream spec)
+          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
+      in
+      let err f =
+        Exp_common.pct
+          (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
+      in
+      {
+        bench = spec.Workload.Spec.name;
+        eds;
+        ss;
+        ipc_err = err (fun r -> r.Statsim.ipc);
+        epc_err = err (fun r -> r.Statsim.epc);
+        edp_err = err (fun r -> r.Statsim.edp);
+      })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Figure 6: absolute accuracy — IPC and EPC, EDS vs statistical \
+     simulation ==@.";
+  Exp_common.row_header ppf "bench"
+    [ "IPC.eds"; "IPC.ss"; "err%"; "EPC.eds"; "EPC.ss"; "err%"; "EDPerr%" ];
+  let rows = compute () in
+  List.iter
+    (fun r ->
+      Exp_common.row ppf r.bench
+        [
+          r.eds.Statsim.ipc;
+          r.ss.Statsim.ipc;
+          r.ipc_err;
+          r.eds.epc;
+          r.ss.epc;
+          r.epc_err;
+          r.edp_err;
+        ])
+    rows;
+  let avg f = Stats.Summary.mean (List.map f rows) in
+  Format.fprintf ppf
+    "avg errors: IPC %.1f%%  EPC %.1f%%  EDP %.1f%%  (paper: 6.6%% / 4%% / \
+     11%%)@.@."
+    (avg (fun r -> r.ipc_err))
+    (avg (fun r -> r.epc_err))
+    (avg (fun r -> r.edp_err))

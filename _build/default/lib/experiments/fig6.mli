@@ -1,0 +1,18 @@
+(** Figure 6 (plus Section 4.2.3's EDP numbers): absolute accuracy of
+    the full statistical simulation flow on the baseline configuration —
+    per-benchmark IPC and EPC from execution-driven vs statistical
+    simulation, with the absolute errors and the derived energy-delay
+    product error. The paper reports 6.6% average IPC error, 4% average
+    EPC error and 11% average EDP error. *)
+
+type row = {
+  bench : string;
+  eds : Statsim.result;
+  ss : Statsim.result;
+  ipc_err : float;  (** percent *)
+  epc_err : float;
+  edp_err : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

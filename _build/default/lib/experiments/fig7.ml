@@ -1,0 +1,40 @@
+type row = { bench : string; hls_err : float; smart_err : float }
+
+let compute () =
+  let cfg = Config.Machine.hls_baseline in
+  List.map
+    (fun spec ->
+      let eds = Statsim.reference cfg (Exp_common.stream spec) in
+      let hls_m =
+        Hls.run cfg (Exp_common.stream spec)
+          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
+      in
+      let smart =
+        Statsim.run cfg (Exp_common.stream spec)
+          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
+      in
+      let err ipc =
+        Exp_common.pct
+          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+             ~predicted:ipc)
+      in
+      {
+        bench = spec.Workload.Spec.name;
+        hls_err = err (Uarch.Metrics.ipc hls_m);
+        smart_err = err smart.Statsim.ipc;
+      })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Figure 7: IPC error (%%) — HLS vs SMART-HLS (SimpleScalar default \
+     config) ==@.";
+  Exp_common.row_header ppf "bench" [ "HLS"; "SMART-HLS" ];
+  let rows = compute () in
+  List.iter (fun r -> Exp_common.row ppf r.bench [ r.hls_err; r.smart_err ]) rows;
+  Exp_common.row ppf "avg"
+    [
+      Stats.Summary.mean (List.map (fun r -> r.hls_err) rows);
+      Stats.Summary.mean (List.map (fun r -> r.smart_err) rows);
+    ];
+  Format.fprintf ppf "(paper: HLS 10.1%% avg vs SMART-HLS 1.8%% avg)@.@."

@@ -1,0 +1,9 @@
+(** Figure 7: HLS vs SMART-HLS (this paper's framework) — IPC prediction
+    error on the simplified SimpleScalar-default configuration used for
+    the HLS comparison. The paper reports 10.1% average error for HLS
+    against 1.8% for SMART-HLS. *)
+
+type row = { bench : string; hls_err : float; smart_err : float (** percent *) }
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

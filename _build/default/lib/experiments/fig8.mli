@@ -1,0 +1,29 @@
+(** Figure 8 / Section 4.4: modeling program phases and the comparison
+    with SimPoint. A long phased execution is predicted four ways:
+
+    - statistical simulation with one profile over the whole stream;
+    - statistical simulation with one profile and trace per phase
+      (metrics combined by weighted CPI);
+    - statistical simulation over many smaller samples;
+    - SimPoint representative sampling simulated by EDS.
+
+    Errors are against full execution-driven simulation of the whole
+    stream. The paper finds per-phase profiles help only slightly and
+    SimPoint is more accurate (2% vs 7.2%) but needs far more detailed
+    simulation. *)
+
+val phases : int
+val samples : int
+
+type row = {
+  bench : string;
+  eds_ipc : float;
+  whole_err : float;  (** percent *)
+  per_phase_err : float;
+  per_sample_err : float;
+  simpoint_err : float;
+  simpoint_insts : int;  (** detailed-simulation budget SimPoint used *)
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,43 @@
+type row = {
+  bench : string;
+  eds_ipc : float;
+  ipc_err : float;
+  epc_err : float;
+}
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let stream () =
+        Workload.Suite_fp.stream spec ~length:Exp_common.ref_length
+      in
+      let eds = Statsim.reference cfg (stream ()) in
+      let ss =
+        Statsim.run cfg (stream ()) ~target_length:Exp_common.syn_length
+          ~seed:Exp_common.seed
+      in
+      let err f =
+        Exp_common.pct
+          (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
+      in
+      {
+        bench = spec.Workload.Spec.name;
+        eds_ipc = eds.Statsim.ipc;
+        ipc_err = err (fun r -> r.Statsim.ipc);
+        epc_err = err (fun r -> r.Statsim.epc);
+      })
+    Workload.Suite_fp.all
+
+let run ppf =
+  Format.fprintf ppf
+    "== Floating-point workloads (repo addition): absolute accuracy ==@.";
+  Exp_common.row_header ppf "bench" [ "IPC.eds"; "IPCerr%"; "EPCerr%" ];
+  let rows = compute () in
+  List.iter
+    (fun r -> Exp_common.row ppf r.bench [ r.eds_ipc; r.ipc_err; r.epc_err ])
+    rows;
+  let avg f = Stats.Summary.mean (List.map f rows) in
+  Format.fprintf ppf "avg: IPC %.1f%%  EPC %.1f%%@.@."
+    (avg (fun r -> r.ipc_err))
+    (avg (fun r -> r.epc_err))

@@ -1,0 +1,15 @@
+(** Floating-point validation (repository addition): the Figure-6-style
+    absolute accuracy study on CFP2000-flavoured workloads. The paper
+    evaluates integer codes only; the methodology itself is
+    workload-agnostic, so accuracy should carry over to loop-dominated
+    floating-point behaviour. *)
+
+type row = {
+  bench : string;
+  eds_ipc : float;
+  ipc_err : float;  (** percent *)
+  epc_err : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,20 @@
+(** The paper's sketched extension (Section 2.1.1), implemented: WAW and
+    WAR dependency modeling for machines without register renaming,
+    validated on an in-order-issue variant of the baseline.
+
+    Two statistical simulations are compared against in-order
+    execution-driven simulation: one whose profile records anti/output
+    dependencies (the extension) and one that models RAW only (what the
+    unmodified paper framework would produce). The RAW-only model should
+    overpredict in-order performance; the extended model should close
+    most of that gap. *)
+
+type row = {
+  bench : string;
+  eds_ipc : float;
+  raw_only_err : float;  (** percent *)
+  extended_err : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,68 @@
+type row = {
+  bench : string;
+  kind : string;
+  eds_ipc : float;
+  eds_mpki : float;
+  ipc_err : float;
+}
+
+let kinds =
+  [
+    ("hybrid", Config.Machine.Hybrid_local);
+    ("gshare", Config.Machine.Gshare);
+    ("bimodal", Config.Machine.Bimodal_only);
+  ]
+
+(* a subset keeps this study quick; branch behaviour diversity is what
+   matters *)
+let benches = [ "gzip"; "parser"; "twolf"; "vortex" ]
+
+let compute () =
+  List.concat_map
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      List.map
+        (fun (kname, kind) ->
+          let cfg = Config.Machine.(with_predictor baseline kind) in
+          let stream () = Exp_common.stream spec in
+          let eds = Statsim.reference cfg (stream ()) in
+          let ss =
+            Statsim.run cfg (stream ()) ~target_length:Exp_common.syn_length
+              ~seed:Exp_common.seed
+          in
+          {
+            bench = name;
+            kind = kname;
+            eds_ipc = eds.Statsim.ipc;
+            eds_mpki = Uarch.Metrics.mpki eds.metrics;
+            ipc_err =
+              Exp_common.pct
+                (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+                   ~predicted:ss.Statsim.ipc);
+          })
+        kinds)
+    benches
+
+let run ppf =
+  Format.fprintf ppf
+    "== Predictor robustness (repo addition): accuracy across predictor \
+     designs ==@.";
+  Exp_common.row_header ppf "bench" [ "kind"; "IPC.eds"; "MPKI.eds"; "err%" ];
+  let rows = compute () in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-9s %9s %9.3f %9.2f %9.1f@." r.bench r.kind
+        r.eds_ipc r.eds_mpki r.ipc_err)
+    rows;
+  List.iter
+    (fun (kname, _) ->
+      let errs =
+        List.filter_map
+          (fun r -> if r.kind = kname then Some r.ipc_err else None)
+          rows
+      in
+      Format.fprintf ppf "avg %s: %.1f%%@." kname (Stats.Summary.mean errs))
+    kinds;
+  Format.fprintf ppf
+    "(the profile re-measures branch probabilities per predictor, so \
+     accuracy should hold for all three)@.@."

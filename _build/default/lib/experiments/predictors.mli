@@ -1,0 +1,18 @@
+(** Robustness study (repository addition): the statistical simulation
+    methodology across branch predictor designs. The paper evaluates one
+    predictor (the Table 2 hybrid); here the same flow is validated with
+    gshare and a plain bimodal predictor — the profile's branch
+    probabilities are predictor-specific (Section 2.1.2), so accuracy
+    should carry over unchanged. *)
+
+type row = {
+  bench : string;
+  kind : string;
+  eds_ipc : float;
+  eds_mpki : float;
+  ipc_err : float;  (** percent *)
+}
+
+val kinds : (string * Config.Machine.predictor_kind) list
+val compute : unit -> row list
+val run : Format.formatter -> unit

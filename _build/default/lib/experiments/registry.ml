@@ -1,0 +1,97 @@
+type entry = {
+  id : string;
+  description : string;
+  run : Format.formatter -> unit;
+}
+
+let all =
+  [
+    {
+      id = "table1";
+      description = "Table 1: benchmarks and baseline IPC";
+      run = Table1.run;
+    };
+    {
+      id = "fig3";
+      description = "Figure 3: branch MPKI under EDS / immediate / delayed profiling";
+      run = Fig3.run;
+    };
+    {
+      id = "fig4";
+      description = "Figure 4: IPC error vs SFG order k (perfect caches & bpred)";
+      run = Fig4.run;
+    };
+    {
+      id = "table3";
+      description = "Table 3: SFG node counts vs k";
+      run = Table3.run;
+    };
+    {
+      id = "fig5";
+      description = "Figure 5: immediate vs delayed branch profiling accuracy";
+      run = Fig5.run;
+    };
+    {
+      id = "fig6";
+      description = "Figure 6: absolute IPC/EPC accuracy (+ EDP, Section 4.2.3)";
+      run = Fig6.run;
+    };
+    {
+      id = "cov";
+      description = "Section 4.1: IPC CoV vs synthetic trace length";
+      run = Cov.run;
+    };
+    {
+      id = "fig7";
+      description = "Figure 7: HLS vs SMART-HLS";
+      run = Fig7.run;
+    };
+    {
+      id = "fig8";
+      description = "Figure 8: program phases and SimPoint comparison";
+      run = Fig8.run;
+    };
+    {
+      id = "table4";
+      description = "Table 4: relative accuracy across design-point steps";
+      run = Table4.run;
+    };
+    {
+      id = "dse";
+      description = "Section 4.6: EDP design space exploration";
+      run = Dse.run;
+    };
+    {
+      id = "inorder";
+      description = "In-order + WAW/WAR extension (Section 2.1.1 future work; repo addition)";
+      run = Inorder.run;
+    };
+    {
+      id = "fp";
+      description = "Floating-point workload accuracy (repo addition)";
+      run = Fp_suite.run;
+    };
+    {
+      id = "baselines";
+      description = "Analytical vs HLS vs SFG accuracy (repo addition)";
+      run = Baselines.run;
+    };
+    {
+      id = "predictors";
+      description = "Predictor-design robustness: hybrid vs gshare vs bimodal (repo addition)";
+      run = Predictors.run;
+    };
+    {
+      id = "ablation";
+      description = "Ablations: FIFO size, dependency cap, squash semantics (repo addition)";
+      run = Ablation.run;
+    };
+    {
+      id = "speed";
+      description = "Section 4.1: simulation speed and speedups";
+      run = Speed.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,11 @@
+(** Name -> experiment dispatch, shared by the bench harness and the CLI. *)
+
+type entry = {
+  id : string;
+  description : string;
+  run : Format.formatter -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val ids : unit -> string list

@@ -1,0 +1,20 @@
+(** Section 4.1's speed claim: statistical simulation is orders of
+    magnitude faster than execution-driven simulation because the
+    synthetic trace is a factor R shorter (and the synthetic simulator
+    also skips cache and predictor work). Reports measured wall-clock
+    throughput of both simulators and the end-to-end speedup for a
+    design-space-exploration use case where one profile amortizes over
+    many simulated design points. *)
+
+type row = {
+  bench : string;
+  eds_seconds : float;
+  profile_seconds : float;
+  generate_seconds : float;
+  ss_seconds : float;
+  speedup_per_run : float;  (** eds / ss, excluding one-time profiling *)
+  reduction : int;
+}
+
+val compute : ?benches:Workload.Spec.t list -> unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,33 @@
+type row = {
+  bench : string;
+  blocks : int;
+  code_kb : int;
+  ipc : float;
+  mpki : float;
+}
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let prog = Workload.Suite.program spec in
+      let m = Uarch.Eds.run cfg (Exp_common.stream spec) in
+      {
+        bench = spec.Workload.Spec.name;
+        blocks = Workload.Program.n_blocks prog;
+        code_kb = prog.code_bytes / 1024;
+        ipc = Uarch.Metrics.ipc m;
+        mpki = Uarch.Metrics.mpki m;
+      })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf "== Table 1: benchmarks and baseline IPC ==@.";
+  Exp_common.row_header ppf "bench" [ "blocks"; "code_kb"; "IPC"; "MPKI" ];
+  List.iter
+    (fun r ->
+      Exp_common.row ppf r.bench
+        [ float_of_int r.blocks; float_of_int r.code_kb; r.ipc; r.mpki ])
+    (compute ());
+  Format.fprintf ppf
+    "(paper Table 1 IPC range: 0.51 (crafty) .. 1.94 (gzip))@.@."

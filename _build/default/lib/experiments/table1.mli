@@ -1,0 +1,14 @@
+(** Table 1: the benchmark suite with baseline IPC (measured by
+    execution-driven simulation on the Table 2 configuration), plus the
+    static footprint of each generated stand-in program. *)
+
+type row = {
+  bench : string;
+  blocks : int;
+  code_kb : int;
+  ipc : float;
+  mpki : float;
+}
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

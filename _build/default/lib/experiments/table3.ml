@@ -1,0 +1,32 @@
+type row = { bench : string; nodes : int array }
+
+let compute () =
+  let cfg = Config.Machine.baseline in
+  List.map
+    (fun spec ->
+      let nodes =
+        Fig4.ks
+        |> List.map (fun k ->
+               let p =
+                 (* node counting needs no locality profiling: skip the
+                    cache and branch work to keep Table 3 cheap *)
+                 Statsim.profile ~k ~perfect_caches:true ~perfect_bpred:true
+                   cfg (Exp_common.stream spec)
+               in
+               Profile.Sfg.node_count p.sfg)
+        |> Array.of_list
+      in
+      { bench = spec.Workload.Spec.name; nodes })
+    Exp_common.benches
+
+let run ppf =
+  Format.fprintf ppf "== Table 3: SFG node count vs order k ==@.";
+  Exp_common.row_header ppf "bench" [ "k=0"; "k=1"; "k=2"; "k=3" ];
+  List.iter
+    (fun r ->
+      Exp_common.row ppf r.bench
+        (List.map float_of_int (Array.to_list r.nodes)))
+    (compute ());
+  Format.fprintf ppf
+    "(paper: gcc largest (30.8k..71.9k), vpr smallest (149..261); growth \
+     with k is modest)@.@."

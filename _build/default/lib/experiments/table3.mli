@@ -1,0 +1,7 @@
+(** Table 3: number of nodes in the SFG as a function of its order k.
+    Node counts grow with k since the same block splits per history. *)
+
+type row = { bench : string; nodes : int array (** per k in 0..3 *) }
+
+val compute : unit -> row list
+val run : Format.formatter -> unit

@@ -1,0 +1,234 @@
+type family = Window | Width | Ifq | Bpred | Cache_size
+
+let families = [ Window; Width; Ifq; Bpred; Cache_size ]
+
+let family_name = function
+  | Window -> "window size (RUU; LSQ = RUU/2)"
+  | Width -> "processor width"
+  | Ifq -> "instruction fetch queue size"
+  | Bpred -> "branch predictor size"
+  | Cache_size -> "cache size"
+
+let base = Config.Machine.baseline
+
+let configs = function
+  | Window ->
+    [ 8; 16; 32; 48; 64; 96; 128 ]
+    |> List.map (fun r ->
+           ( string_of_int r,
+             Config.Machine.with_window base ~ruu:r ~lsq:(max 4 (r / 2)) ))
+  | Width ->
+    [ 2; 4; 6; 8 ]
+    |> List.map (fun w -> (string_of_int w, Config.Machine.with_width base w))
+  | Ifq ->
+    [ 4; 8; 16; 32 ]
+    |> List.map (fun n -> (string_of_int n, Config.Machine.with_ifq base n))
+  | Bpred ->
+    [ (0.25, "b/4"); (0.5, "b/2"); (1.0, "base"); (2.0, "b*2"); (4.0, "b*4") ]
+    |> List.map (fun (f, l) -> (l, Config.Machine.scale_bpred base f))
+  | Cache_size ->
+    [ (0.25, "b/4"); (0.5, "b/2"); (1.0, "base"); (2.0, "b*2"); (4.0, "b*4") ]
+    |> List.map (fun (f, l) -> (l, Config.Machine.scale_caches base f))
+
+(* a profile collected at the baseline stays valid across the sweep only
+   when the sweep does not touch what profiling measures (caches,
+   predictor, fetch-queue delay) *)
+let profile_shared = function
+  | Window | Width -> true
+  | Ifq | Bpred | Cache_size -> false
+
+type metric = {
+  mname : string;
+  value : Config.Machine.t -> Uarch.Metrics.t -> float;
+}
+
+let upower kind cfg (m : Uarch.Metrics.t) =
+  Power.Model.unit_power (Power.Model.create cfg) m.activity kind
+
+let m_ipc = { mname = "IPC"; value = (fun _ m -> Uarch.Metrics.ipc m) }
+
+let m_epc =
+  {
+    mname = "EPC";
+    value =
+      (fun cfg m -> Power.Model.epc (Power.Model.create cfg) m.activity);
+  }
+
+let m_ruu_occ =
+  { mname = "RUU occupancy"; value = (fun _ m -> Uarch.Metrics.avg_ruu_occupancy m) }
+
+let m_lsq_occ =
+  { mname = "LSQ occupancy"; value = (fun _ m -> Uarch.Metrics.avg_lsq_occupancy m) }
+
+let m_ifq_occ =
+  { mname = "IFQ occupancy"; value = (fun _ m -> Uarch.Metrics.avg_ifq_occupancy m) }
+
+let m_exec_bw =
+  {
+    mname = "exec bandwidth";
+    value =
+      (fun _ (m : Uarch.Metrics.t) ->
+        if m.cycles = 0 then 0.0
+        else float_of_int m.activity.issued /. float_of_int m.cycles);
+  }
+
+let m_power name kind = { mname = name; value = upower kind }
+
+let metrics = function
+  | Window ->
+    [
+      m_ipc;
+      m_ruu_occ;
+      m_lsq_occ;
+      m_epc;
+      m_power "RUU power" Power.Model.Ruu_unit;
+      m_power "LSQ power" Power.Model.Lsq_unit;
+    ]
+  | Width ->
+    [
+      m_ipc;
+      m_exec_bw;
+      m_epc;
+      m_power "fetch power" Power.Model.Fetch_unit;
+      m_power "dispatch power" Power.Model.Dispatch_unit;
+      m_power "issue power" Power.Model.Issue_unit;
+    ]
+  | Ifq -> [ m_ipc; m_epc; m_ifq_occ ]
+  | Bpred ->
+    [
+      m_ipc;
+      m_epc;
+      m_ruu_occ;
+      m_power "RUU power" Power.Model.Ruu_unit;
+      m_lsq_occ;
+      m_power "LSQ power" Power.Model.Lsq_unit;
+      m_ifq_occ;
+      m_power "fetch power" Power.Model.Fetch_unit;
+      m_power "bpred power" Power.Model.Bpred_unit;
+    ]
+  | Cache_size ->
+    [
+      m_ipc;
+      m_epc;
+      m_ruu_occ;
+      m_power "RUU power" Power.Model.Ruu_unit;
+      m_lsq_occ;
+      m_power "LSQ power" Power.Model.Lsq_unit;
+      m_ifq_occ;
+      m_power "fetch power" Power.Model.Fetch_unit;
+      m_power "I-cache power" Power.Model.Icache_unit;
+      m_power "D-cache power" Power.Model.Dcache_unit;
+      m_power "L2 power" Power.Model.L2_unit;
+    ]
+
+let metric_names f = List.map (fun m -> m.mname) (metrics f)
+
+type table = {
+  family : family;
+  steps : string list;
+  rows : (string * float list) list;
+}
+
+(* Table 4 runs 25 configurations x 10 benchmarks through both
+   simulators; use half-size streams to keep the sweep tractable. *)
+let t4_ref_length = max 50_000 (Exp_common.ref_length / 2)
+let t4_syn_length = max 10_000 (Exp_common.syn_length / 2)
+
+let compute family =
+  let cfgs = configs family in
+  let shared = profile_shared family in
+  (* per bench: per config, (eds metrics, ss metrics) *)
+  let per_bench =
+    List.map
+      (fun spec ->
+        let stream () = Exp_common.stream ~length:t4_ref_length spec in
+        let shared_profile =
+          if shared then Some (Statsim.profile base (stream ())) else None
+        in
+        (* the cache sweep profiles all its configurations in one pass
+           (cheetah-style single-pass multi-configuration simulation) *)
+        let multi_profiles =
+          match family with
+          | Cache_size ->
+            let _, ps =
+              Profile.Stat_profile.collect_multi_cache base
+                ~variants:(List.map snd cfgs) (stream ())
+            in
+            Some ps
+          | Window | Width | Ifq | Bpred -> None
+        in
+        List.mapi
+          (fun i (_, cfg) ->
+            let eds = Uarch.Eds.run cfg (stream ()) in
+            let p =
+              match (shared_profile, multi_profiles) with
+              | Some p, _ -> p
+              | None, Some ps -> List.nth ps i
+              | None, None -> Statsim.profile cfg (stream ())
+            in
+            let ss =
+              (Statsim.run_profile ~target_length:t4_syn_length cfg p
+                 ~seed:Exp_common.seed)
+                .Statsim.metrics
+            in
+            (cfg, eds, ss))
+          cfgs)
+      Exp_common.benches
+  in
+  let labels = List.map fst cfgs in
+  let steps =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> Printf.sprintf "%s->%s" a b :: pairs rest
+      | [ _ ] | [] -> []
+    in
+    pairs labels
+  in
+  let rows =
+    List.map
+      (fun m ->
+        let n_steps = List.length steps in
+        let errs =
+          List.init n_steps (fun si ->
+              let per_bench_err =
+                List.filter_map
+                  (fun results ->
+                    let cfg_a, eds_a, ss_a = List.nth results si in
+                    let cfg_b, eds_b, ss_b = List.nth results (si + 1) in
+                    let ra = m.value cfg_a eds_a
+                    and rb = m.value cfg_b eds_b
+                    and pa = m.value cfg_a ss_a
+                    and pb = m.value cfg_b ss_b in
+                    if ra = 0.0 || pa = 0.0 || rb = 0.0 then None
+                    else
+                      Some
+                        (Exp_common.pct
+                           (Stats.Summary.relative_error ~ref_a:ra ~ref_b:rb
+                              ~pred_a:pa ~pred_b:pb)))
+                  per_bench
+              in
+              Stats.Summary.mean per_bench_err)
+        in
+        (m.mname, errs))
+      (metrics family)
+  in
+  { family; steps; rows }
+
+let run_family ppf family =
+  let t = compute family in
+  Format.fprintf ppf "-- sensitivity to %s --@." (family_name family);
+  Format.fprintf ppf "%-18s" "";
+  List.iter (fun s -> Format.fprintf ppf " %9s" s) t.steps;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (name, errs) ->
+      Format.fprintf ppf "%-18s" name;
+      List.iter (fun e -> Format.fprintf ppf " %8.1f%%" e) errs;
+      Format.fprintf ppf "@.")
+    t.rows
+
+let run ppf =
+  Format.fprintf ppf
+    "== Table 4: relative error (%%) of statistical simulation across \
+     design-point steps ==@.";
+  List.iter (run_family ppf) families;
+  Format.fprintf ppf "(paper: relative errors generally below 3%%)@.@."

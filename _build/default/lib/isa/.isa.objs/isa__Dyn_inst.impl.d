@@ -1,0 +1,1 @@
+lib/isa/dyn_inst.ml: Array Format Iclass

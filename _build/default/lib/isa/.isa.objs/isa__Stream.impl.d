@@ -1,0 +1,1 @@
+lib/isa/stream.ml: Array Dyn_inst

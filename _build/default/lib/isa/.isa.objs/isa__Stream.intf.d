@@ -1,0 +1,1 @@
+lib/isa/stream.mli: Dyn_inst

@@ -1,0 +1,38 @@
+type branch_kind = Cond | Jump | Call | Return | Indirect
+
+type branch = { kind : branch_kind; taken : bool; target : int; next_pc : int }
+
+type t = {
+  pc : int;
+  klass : Iclass.t;
+  dest : int;
+  srcs : int array;
+  mem_addr : int;
+  branch : branch option;
+  block : int;
+  first_in_block : bool;
+}
+
+let pp ppf i =
+  Format.fprintf ppf "@[<h>%#x %a b%d%s" i.pc Iclass.pp i.klass i.block
+    (if i.first_in_block then "*" else "");
+  if i.dest >= 0 then Format.fprintf ppf " d=r%d" i.dest;
+  Array.iter (fun s -> Format.fprintf ppf " s=r%d" s) i.srcs;
+  if i.mem_addr >= 0 then Format.fprintf ppf " @@%#x" i.mem_addr;
+  (match i.branch with
+  | None -> ()
+  | Some b ->
+    Format.fprintf ppf " br:%s->%#x"
+      (if b.taken then "T" else "N")
+      b.target);
+  Format.fprintf ppf "@]"
+
+let well_formed i =
+  let branch_ok =
+    match (Iclass.is_branch i.klass, i.branch) with
+    | true, Some _ | false, None -> true
+    | true, None | false, Some _ -> false
+  in
+  let mem_ok = Iclass.is_mem i.klass = (i.mem_addr >= 0) in
+  let dest_ok = if Iclass.has_dest i.klass then i.dest >= 0 else i.dest < 0 in
+  branch_ok && mem_ok && dest_ok && Array.length i.srcs <= 3

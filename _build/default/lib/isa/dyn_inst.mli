@@ -1,0 +1,41 @@
+(** One dynamically executed instruction of the reference stream.
+
+    This is the "execution trace" record the paper's profilers and the
+    execution-driven simulator both consume. Register identifiers are
+    architectural (0..{!Reg.count}-1); [dest = Reg.none] when the class
+    produces no register value. *)
+
+type branch_kind =
+  | Cond  (** conditional, direction predicted by the direction predictor *)
+  | Jump  (** unconditional direct jump: always taken, target via BTB *)
+  | Call  (** direct call: pushes the return address on the RAS *)
+  | Return  (** indirect return: target predicted by the RAS *)
+  | Indirect  (** other indirect jump (e.g. switch): target via BTB *)
+
+type branch = {
+  kind : branch_kind;
+  taken : bool;  (** actual resolved direction *)
+  target : int;  (** actual resolved target PC *)
+  next_pc : int;
+      (** sequentially next PC — what a call pushes on the return address
+          stack. Generated programs do not lay blocks out in control-flow
+          order, so this cannot be derived as [pc + 4]. *)
+}
+
+type t = {
+  pc : int;
+  klass : Iclass.t;
+  dest : int;  (** destination register or [Reg.none] *)
+  srcs : int array;  (** source registers (0..3 of them) *)
+  mem_addr : int;  (** effective address; [-1] when not a memory op *)
+  branch : branch option;  (** [Some _] iff [Iclass.is_branch klass] *)
+  block : int;  (** static basic-block identifier *)
+  first_in_block : bool;  (** basic-block leader marker *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val well_formed : t -> bool
+(** Structural sanity used by tests and assertions: branch info present
+    exactly for branch classes, memory address present exactly for memory
+    classes, no destination on branches/stores. *)

@@ -1,0 +1,86 @@
+type t =
+  | Load
+  | Store
+  | Int_branch
+  | Fp_branch
+  | Indirect_branch
+  | Int_alu
+  | Int_mult
+  | Int_div
+  | Fp_alu
+  | Fp_mult
+  | Fp_div
+  | Fp_sqrt
+
+let all =
+  [|
+    Load;
+    Store;
+    Int_branch;
+    Fp_branch;
+    Indirect_branch;
+    Int_alu;
+    Int_mult;
+    Int_div;
+    Fp_alu;
+    Fp_mult;
+    Fp_div;
+    Fp_sqrt;
+  |]
+
+let count = Array.length all
+
+let index = function
+  | Load -> 0
+  | Store -> 1
+  | Int_branch -> 2
+  | Fp_branch -> 3
+  | Indirect_branch -> 4
+  | Int_alu -> 5
+  | Int_mult -> 6
+  | Int_div -> 7
+  | Fp_alu -> 8
+  | Fp_mult -> 9
+  | Fp_div -> 10
+  | Fp_sqrt -> 11
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Iclass.of_index";
+  all.(i)
+
+let to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Int_branch -> "int_branch"
+  | Fp_branch -> "fp_branch"
+  | Indirect_branch -> "indirect_branch"
+  | Int_alu -> "int_alu"
+  | Int_mult -> "int_mult"
+  | Int_div -> "int_div"
+  | Fp_alu -> "fp_alu"
+  | Fp_mult -> "fp_mult"
+  | Fp_div -> "fp_div"
+  | Fp_sqrt -> "fp_sqrt"
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let is_branch = function
+  | Int_branch | Fp_branch | Indirect_branch -> true
+  | Load | Store | Int_alu | Int_mult | Int_div | Fp_alu | Fp_mult | Fp_div
+  | Fp_sqrt ->
+    false
+
+let is_load = function
+  | Load -> true
+  | Store | Int_branch | Fp_branch | Indirect_branch | Int_alu | Int_mult
+  | Int_div | Fp_alu | Fp_mult | Fp_div | Fp_sqrt ->
+    false
+
+let is_store = function
+  | Store -> true
+  | Load | Int_branch | Fp_branch | Indirect_branch | Int_alu | Int_mult
+  | Int_div | Fp_alu | Fp_mult | Fp_div | Fp_sqrt ->
+    false
+
+let is_mem c = is_load c || is_store c
+let has_dest c = not (is_branch c || is_store c)

@@ -1,0 +1,38 @@
+(** The 12 instruction classes of the paper (Section 2.1.1): instructions
+    are classified by semantics; the synthetic trace carries the class of
+    every instruction so the simulator can assign functional units and
+    latencies. *)
+
+type t =
+  | Load
+  | Store
+  | Int_branch  (** integer conditional branch (also direct jumps/calls) *)
+  | Fp_branch  (** floating-point conditional branch *)
+  | Indirect_branch  (** indirect jumps and returns *)
+  | Int_alu
+  | Int_mult
+  | Int_div
+  | Fp_alu
+  | Fp_mult
+  | Fp_div
+  | Fp_sqrt
+
+val all : t array
+(** The 12 classes in a fixed order; [index] below is the position here. *)
+
+val count : int
+(** [Array.length all = 12]. *)
+
+val index : t -> int
+val of_index : int -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_branch : t -> bool
+val is_mem : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+
+val has_dest : t -> bool
+(** Branches and stores produce no register result (Section 2.2 step 4:
+    dependencies on them are invalid). *)

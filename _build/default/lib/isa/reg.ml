@@ -1,0 +1,8 @@
+let int_count = 32
+let fp_count = 32
+let count = int_count + fp_count
+let none = -1
+let zero = 0
+let first_fp = int_count
+let is_int r = r >= 0 && r < int_count
+let is_fp r = r >= first_fp && r < count

@@ -1,0 +1,20 @@
+(** Architectural register file naming: 32 integer + 32 floating-point
+    registers. Register 0 (integer) is a hardwired zero and never a RAW
+    producer. *)
+
+val int_count : int
+val fp_count : int
+
+val count : int
+(** Total architectural registers. *)
+
+val none : int
+(** Sentinel for "no register" (destination of branches/stores). *)
+
+val zero : int
+(** The hardwired integer zero register. Writes to it are discarded;
+    reads from it never create dependencies. *)
+
+val is_int : int -> bool
+val is_fp : int -> bool
+val first_fp : int

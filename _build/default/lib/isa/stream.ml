@@ -1,0 +1,43 @@
+type t = {
+  gen : unit -> Dyn_inst.t option;
+  window : int;
+  buf : Dyn_inst.t option array;
+  mutable produced : int;
+  mutable finished : bool;
+}
+
+let of_generator ?(window = 16384) gen =
+  { gen; window; buf = Array.make window None; produced = 0; finished = false }
+
+let produced t = t.produced
+
+let pull t =
+  if not t.finished then begin
+    match t.gen () with
+    | None -> t.finished <- true
+    | Some i ->
+      t.buf.(t.produced mod t.window) <- Some i;
+      t.produced <- t.produced + 1
+  end
+
+let get t i =
+  if i < 0 then invalid_arg "Stream.get: negative index";
+  while t.produced <= i && not t.finished do
+    pull t
+  done;
+  if i >= t.produced then None
+  else if i < t.produced - t.window then
+    invalid_arg "Stream.get: index slid out of the rewind window"
+  else t.buf.(i mod t.window)
+
+let of_array a =
+  let pos = ref 0 in
+  let gen () =
+    if !pos >= Array.length a then None
+    else begin
+      let i = a.(!pos) in
+      incr pos;
+      Some i
+    end
+  in
+  of_generator ~window:(max 1 (Array.length a)) gen

@@ -1,0 +1,28 @@
+(** A dynamic instruction stream with bounded random access into the
+    recent past.
+
+    The out-of-order pipeline needs to *re-fetch* instructions after a
+    branch misprediction squash (the wrong-path instructions it fetched
+    were the very same stream positions, re-played as correct path — see
+    Section 2.3 of the paper). Rather than materializing multi-million
+    instruction traces, the stream keeps a sliding window over a pull
+    generator; rewinds are bounded by the window, which only needs to
+    cover the maximum number of in-flight instructions. *)
+
+type t
+
+val of_generator : ?window:int -> (unit -> Dyn_inst.t option) -> t
+(** [of_generator gen] wraps a pull generator. [window] (default 16384)
+    bounds how far back {!get} may reach. *)
+
+val get : t -> int -> Dyn_inst.t option
+(** [get t i] returns the [i]-th instruction of the stream (0-based), or
+    [None] past the end. Raises [Invalid_argument] if [i] has already
+    slid out of the window. *)
+
+val produced : t -> int
+(** Number of instructions pulled from the generator so far. *)
+
+val of_array : Dyn_inst.t array -> t
+(** Convenience for tests: a fully materialized stream (unbounded
+    rewind within the array). *)

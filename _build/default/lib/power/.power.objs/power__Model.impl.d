@@ -1,0 +1,1 @@
+lib/power/model.ml: Activity Config Float List Wattch

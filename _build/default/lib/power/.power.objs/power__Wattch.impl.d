@@ -1,0 +1,1 @@
+lib/power/wattch.ml: Config Isa

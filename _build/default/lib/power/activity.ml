@@ -1,0 +1,48 @@
+type t = {
+  mutable cycles : int;
+  mutable fetched : int;
+  mutable bpred_lookups : int;
+  mutable dispatched : int;
+  mutable issued : int;
+  mutable completed : int;
+  mutable committed : int;
+  mutable icache_accesses : int;
+  mutable dcache_accesses : int;
+  mutable l2_accesses : int;
+  mutable int_alu_ops : int;
+  mutable int_mult_ops : int;
+  mutable fp_ops : int;
+  mutable mem_ops : int;
+  mutable ruu_occupancy_sum : int;
+  mutable lsq_occupancy_sum : int;
+  mutable ifq_occupancy_sum : int;
+}
+
+let create () =
+  {
+    cycles = 0;
+    fetched = 0;
+    bpred_lookups = 0;
+    dispatched = 0;
+    issued = 0;
+    completed = 0;
+    committed = 0;
+    icache_accesses = 0;
+    dcache_accesses = 0;
+    l2_accesses = 0;
+    int_alu_ops = 0;
+    int_mult_ops = 0;
+    fp_ops = 0;
+    mem_ops = 0;
+    ruu_occupancy_sum = 0;
+    lsq_occupancy_sum = 0;
+    ifq_occupancy_sum = 0;
+  }
+
+let per_cycle total t =
+  if t.cycles = 0 then 0.0 else float_of_int total /. float_of_int t.cycles
+
+let avg_ruu_occupancy t = per_cycle t.ruu_occupancy_sum t
+let avg_lsq_occupancy t = per_cycle t.lsq_occupancy_sum t
+let avg_ifq_occupancy t = per_cycle t.ifq_occupancy_sum t
+let ipc t = per_cycle t.committed t

@@ -1,0 +1,29 @@
+(** Per-run activity counters, incremented by the pipeline and consumed
+    by the {!Model} to compute energy per cycle. Also carries the
+    occupancy integrals behind Table 4's occupancy metrics. *)
+
+type t = {
+  mutable cycles : int;
+  mutable fetched : int;  (** instructions entering the IFQ *)
+  mutable bpred_lookups : int;
+  mutable dispatched : int;  (** instructions renamed into the RUU *)
+  mutable issued : int;
+  mutable completed : int;
+  mutable committed : int;
+  mutable icache_accesses : int;
+  mutable dcache_accesses : int;
+  mutable l2_accesses : int;
+  mutable int_alu_ops : int;
+  mutable int_mult_ops : int;
+  mutable fp_ops : int;
+  mutable mem_ops : int;  (** LSQ insertions *)
+  mutable ruu_occupancy_sum : int;  (** summed per cycle *)
+  mutable lsq_occupancy_sum : int;
+  mutable ifq_occupancy_sum : int;
+}
+
+val create : unit -> t
+val avg_ruu_occupancy : t -> float
+val avg_lsq_occupancy : t -> float
+val avg_ifq_occupancy : t -> float
+val ipc : t -> float

@@ -1,0 +1,123 @@
+type unit_kind =
+  | Fetch_unit
+  | Bpred_unit
+  | Dispatch_unit
+  | Issue_unit
+  | Ruu_unit
+  | Lsq_unit
+  | Icache_unit
+  | Dcache_unit
+  | L2_unit
+  | Alu_unit
+  | Resultbus_unit
+  | Clock_unit
+
+let unit_kinds =
+  [
+    Fetch_unit; Bpred_unit; Dispatch_unit; Issue_unit; Ruu_unit; Lsq_unit;
+    Icache_unit; Dcache_unit; L2_unit; Alu_unit; Resultbus_unit; Clock_unit;
+  ]
+
+let unit_name = function
+  | Fetch_unit -> "fetch"
+  | Bpred_unit -> "bpred"
+  | Dispatch_unit -> "dispatch"
+  | Issue_unit -> "issue"
+  | Ruu_unit -> "ruu"
+  | Lsq_unit -> "lsq"
+  | Icache_unit -> "icache"
+  | Dcache_unit -> "dcache"
+  | L2_unit -> "l2"
+  | Alu_unit -> "alu"
+  | Resultbus_unit -> "resultbus"
+  | Clock_unit -> "clock"
+
+type t = { cfg : Config.Machine.t; max : (unit_kind * float) list }
+
+(* Maximum per-cycle power of each unit: the structural Wattch model
+   gives energy per access; the maximum power is that energy times the
+   unit's peak accesses per cycle (its port count). *)
+let compute_max (cfg : Config.Machine.t) =
+  let fwidth = float_of_int (cfg.decode_width * cfg.fetch_speed) in
+  let per_cycle energy ports = energy *. float_of_int ports in
+  let without_clock =
+    [
+      (Fetch_unit, Wattch.fetch_energy cfg *. fwidth);
+      (Bpred_unit, per_cycle (Wattch.bpred_energy cfg) 2);
+      (Dispatch_unit, per_cycle (Wattch.dispatch_energy cfg) cfg.decode_width);
+      (Issue_unit, per_cycle (Wattch.issue_energy cfg) cfg.issue_width);
+      ( Ruu_unit,
+        per_cycle
+          (Wattch.ruu_energy cfg +. Wattch.regfile_energy cfg)
+          (3 * cfg.issue_width) );
+      (Lsq_unit, per_cycle (Wattch.lsq_energy cfg) (2 * cfg.fu.mem_ports));
+      (Icache_unit, Wattch.icache_energy cfg *. fwidth);
+      (Dcache_unit, per_cycle (Wattch.dcache_energy cfg) cfg.fu.mem_ports);
+      (L2_unit, per_cycle (Wattch.l2_energy cfg) 1);
+      ( Alu_unit,
+        per_cycle (Wattch.alu_energy cfg)
+          (cfg.fu.int_alu + cfg.fu.int_mult_div + cfg.fu.fp_alu
+         + cfg.fu.fp_mult_div + cfg.fu.mem_ports) );
+      (Resultbus_unit, per_cycle (Wattch.resultbus_energy cfg) cfg.issue_width);
+    ]
+  in
+  (Clock_unit, Wattch.clock_power cfg) :: without_clock
+
+let create cfg = { cfg; max = compute_max cfg }
+
+let max_power t kind = List.assoc kind t.max
+
+(* accesses and port count of a unit over a run *)
+let unit_usage (cfg : Config.Machine.t) (a : Activity.t) = function
+  | Fetch_unit -> (a.fetched, cfg.decode_width * cfg.fetch_speed)
+  | Bpred_unit -> (a.bpred_lookups, 2)
+  | Dispatch_unit -> (a.dispatched, cfg.decode_width)
+  | Issue_unit -> (a.issued, cfg.issue_width)
+  | Ruu_unit -> (a.dispatched + a.issued + a.completed, 3 * cfg.issue_width)
+  | Lsq_unit -> (2 * a.mem_ops, 2 * cfg.fu.mem_ports)
+  | Icache_unit -> (a.icache_accesses, cfg.decode_width * cfg.fetch_speed)
+  | Dcache_unit -> (a.dcache_accesses, cfg.fu.mem_ports)
+  | L2_unit -> (a.l2_accesses, 1)
+  | Alu_unit ->
+    ( a.int_alu_ops + (2 * a.int_mult_ops) + (2 * a.fp_ops) + a.mem_ops,
+      cfg.fu.int_alu + cfg.fu.int_mult_div + cfg.fu.fp_alu + cfg.fu.fp_mult_div
+      + cfg.fu.mem_ports )
+  | Resultbus_unit -> (a.completed, cfg.issue_width)
+  | Clock_unit -> (a.committed, cfg.commit_width)
+
+(* cc3 gating: a unit used for fraction x of its capacity burns x of its
+   max power; a completely idle unit burns 10%. With aggregate counters
+   we approximate the per-cycle rule by its expectation: the usage
+   fraction is A/(C*W) and the probability of a fully idle cycle is at
+   least 1 - A/C. *)
+let gated ~max_p ~accesses ~ports ~cycles =
+  if cycles = 0 then 0.0
+  else
+    let c = float_of_int cycles in
+    let u = float_of_int accesses /. (c *. float_of_int ports) in
+    let idle = Float.max 0.0 (1.0 -. (float_of_int accesses /. c)) in
+    max_p *. (Float.min 1.0 u +. (0.10 *. idle))
+
+let unit_power t (a : Activity.t) kind =
+  let max_p = max_power t kind in
+  match kind with
+  | Clock_unit ->
+    (* the clock tree is never fully gated: model 60% fixed + 40%
+       activity-proportional *)
+    let commits, width = unit_usage t.cfg a Clock_unit in
+    let u =
+      if a.cycles = 0 then 0.0
+      else
+        float_of_int commits /. (float_of_int a.cycles *. float_of_int width)
+    in
+    max_p *. (0.6 +. (0.4 *. Float.min 1.0 u))
+  | _ ->
+    let accesses, ports = unit_usage t.cfg a kind in
+    gated ~max_p ~accesses ~ports ~cycles:a.cycles
+
+let epc t a =
+  List.fold_left (fun acc k -> acc +. unit_power t a k) 0.0 unit_kinds
+
+let edp ~epc ~ipc =
+  if ipc <= 0.0 then invalid_arg "Model.edp: non-positive IPC";
+  epc /. (ipc *. ipc)

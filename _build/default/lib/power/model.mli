@@ -1,0 +1,44 @@
+(** Wattch-style architectural power model (paper Section 3: Wattch
+    v1.02, 0.18um, 1.2GHz, aggressive cc3 clock gating).
+
+    Like Wattch, each microarchitectural unit has a maximum per-cycle
+    power derived from its structure size and port count; the per-run
+    average applies the cc3 gating rule the paper states: a unit used a
+    fraction [x] of a cycle consumes [x] of its maximum, an unused unit
+    consumes 10% of its maximum. Absolute values are in a calibrated
+    arbitrary "watt" scale — every experiment compares statistical
+    simulation against execution-driven simulation *on the same model*,
+    so only relative fidelity matters (see DESIGN.md Section 2). *)
+
+type unit_kind =
+  | Fetch_unit  (** fetch engine incl. IFQ *)
+  | Bpred_unit
+  | Dispatch_unit  (** rename/dispatch *)
+  | Issue_unit  (** selection + wakeup logic *)
+  | Ruu_unit  (** register update unit (window + regfile) *)
+  | Lsq_unit
+  | Icache_unit
+  | Dcache_unit
+  | L2_unit
+  | Alu_unit  (** all functional units *)
+  | Resultbus_unit
+  | Clock_unit
+
+val unit_kinds : unit_kind list
+val unit_name : unit_kind -> string
+
+type t
+
+val create : Config.Machine.t -> t
+
+val unit_power : t -> Activity.t -> unit_kind -> float
+(** Average per-cycle power of one unit over a run. *)
+
+val epc : t -> Activity.t -> float
+(** Total energy per cycle ("Watts"), the paper's EPC metric. *)
+
+val edp : epc:float -> ipc:float -> float
+(** Energy-delay product: [EPC * CPI^2 = EPC / IPC^2] (Section 4.2.3). *)
+
+val max_power : t -> unit_kind -> float
+(** The unit's unconstrained per-cycle maximum (for reporting). *)

@@ -1,0 +1,159 @@
+(* Technology constants, loosely the 0.18um numbers Wattch ships:
+   capacitances in fF, voltage in volts; energies come out in nJ via
+   E = C * Vdd^2. *)
+
+let vdd = 2.0
+let c_gate = 1.0 (* fF per minimum gate input *)
+let c_diff = 0.7 (* fF per minimum drain diffusion *)
+let c_wordline_per_bit = 1.8 (* pass gates + wire per column crossed *)
+let c_bitline_per_row = 1.2 (* diffusion + wire per row crossed *)
+let c_decoder_per_row = 0.4
+let c_senseamp = 12.0 (* per column pair *)
+let c_tagline_per_entry = 1.0
+let c_matchline_per_bit = 1.6
+
+type geometry = { rows : int; cols : int; rd_ports : int; wr_ports : int }
+
+let energy_of_cap_ff cap_ff = cap_ff *. vdd *. vdd *. 1e-6 (* fF*V^2 -> nJ *)
+
+let array_access_energy g =
+  if g.rows <= 0 || g.cols <= 0 then invalid_arg "Wattch: empty array";
+  let ports = float_of_int (g.rd_ports + g.wr_ports) in
+  let rows = float_of_int g.rows and cols = float_of_int g.cols in
+  (* multi-porting lengthens both wordlines and bitlines *)
+  let port_stretch = 1.0 +. (0.3 *. (ports -. 1.0)) in
+  let decoder = c_decoder_per_row *. rows in
+  let wordline = (c_wordline_per_bit *. cols *. port_stretch) +. (2.0 *. c_gate) in
+  let bitline = c_bitline_per_row *. rows *. cols *. 0.5 *. port_stretch in
+  (* half the bitlines swing on average (the model's base activity
+     factor of 0.5 for single-ended array bitlines, per the paper) *)
+  let sense = c_senseamp *. cols in
+  energy_of_cap_ff (decoder +. wordline +. bitline +. sense)
+
+let cam_access_energy ~entries ~tag_bits ~ports =
+  if entries <= 0 then invalid_arg "Wattch: empty CAM";
+  let e = float_of_int entries and b = float_of_int tag_bits in
+  let p = float_of_int (max 1 ports) in
+  let taglines = c_tagline_per_entry *. e *. b *. p in
+  let matchlines = c_matchline_per_bit *. b *. e in
+  let misc = c_diff *. e in
+  energy_of_cap_ff (taglines +. matchlines +. misc)
+
+let cache_geometry (c : Config.Machine.cache) =
+  let sets = max 1 (c.size_bytes / (c.block_bytes * c.assoc)) in
+  let tag_bits = 28 in
+  {
+    rows = sets;
+    cols = c.assoc * ((c.block_bytes * 8) + tag_bits);
+    rd_ports = 1;
+    wr_ports = 1;
+  }
+
+(* Calibration from modeled nJ/access to the reported "watt" scale: an
+   8-wide Table 2 machine at full tilt lands around 25-35 units, the
+   range of the paper's Figure 6 EPC plots. *)
+let calibration = 1.6
+
+let scaled e = e *. calibration
+
+let icache_energy (cfg : Config.Machine.t) =
+  scaled (array_access_energy (cache_geometry cfg.icache))
+
+let dcache_energy (cfg : Config.Machine.t) =
+  scaled (array_access_energy (cache_geometry cfg.dcache))
+
+let l2_energy (cfg : Config.Machine.t) =
+  scaled (array_access_energy (cache_geometry cfg.l2))
+
+let bpred_energy (cfg : Config.Machine.t) =
+  let b = cfg.bpred in
+  let table entries cols =
+    if entries <= 0 then 0.0
+    else array_access_energy { rows = entries; cols; rd_ports = 1; wr_ports = 1 }
+  in
+  let direction =
+    match b.kind with
+    | Config.Machine.Hybrid_local ->
+      table b.meta_entries 2 +. table b.bimodal_entries 2
+      +. table b.local_hist_entries b.local_hist_bits
+      +. table b.local_pattern_entries 2
+    | Config.Machine.Gshare -> table b.local_pattern_entries 2
+    | Config.Machine.Bimodal_only -> table b.bimodal_entries 2
+  in
+  let btb =
+    array_access_energy
+      { rows = b.btb_sets; cols = b.btb_assoc * 60; rd_ports = 1; wr_ports = 1 }
+  in
+  let ras =
+    array_access_energy { rows = b.ras_entries; cols = 32; rd_ports = 1; wr_ports = 1 }
+  in
+  scaled (direction +. btb +. ras)
+
+let ruu_energy (cfg : Config.Machine.t) =
+  (* wakeup CAM over the window plus a RAM slot read/write *)
+  let cam = cam_access_energy ~entries:cfg.ruu_size ~tag_bits:8 ~ports:cfg.issue_width in
+  let ram =
+    array_access_energy
+      {
+        rows = cfg.ruu_size;
+        cols = 160;
+        rd_ports = cfg.issue_width;
+        wr_ports = cfg.decode_width;
+      }
+  in
+  scaled (cam +. ram)
+
+let lsq_energy (cfg : Config.Machine.t) =
+  let cam =
+    cam_access_energy ~entries:cfg.lsq_size ~tag_bits:40 ~ports:cfg.fu.mem_ports
+  in
+  let ram =
+    array_access_energy
+      { rows = cfg.lsq_size; cols = 80; rd_ports = 2; wr_ports = 2 }
+  in
+  scaled (cam +. ram)
+
+let regfile_energy (cfg : Config.Machine.t) =
+  scaled
+    (array_access_energy
+       {
+         rows = Isa.Reg.count;
+         cols = 64;
+         rd_ports = 2 * cfg.issue_width;
+         wr_ports = cfg.issue_width;
+       })
+
+let fetch_energy (cfg : Config.Machine.t) =
+  (* IFQ slot write plus PC/datapath logic per fetched instruction *)
+  let ifq =
+    array_access_energy
+      { rows = max 2 cfg.ifq_size; cols = 64; rd_ports = 1; wr_ports = 1 }
+  in
+  scaled (ifq +. (0.002 *. float_of_int cfg.decode_width))
+
+let dispatch_energy (cfg : Config.Machine.t) =
+  (* rename table lookups *)
+  scaled
+    (array_access_energy
+       { rows = Isa.Reg.count; cols = 10; rd_ports = cfg.decode_width; wr_ports = cfg.decode_width }
+    +. 0.003)
+
+let issue_energy (cfg : Config.Machine.t) =
+  (* selection logic, scaling with window size *)
+  scaled (0.0004 *. float_of_int cfg.ruu_size +. 0.002 *. float_of_int cfg.issue_width)
+
+let alu_energy (_cfg : Config.Machine.t) = scaled 0.08
+
+let resultbus_energy (cfg : Config.Machine.t) =
+  scaled (0.004 *. float_of_int cfg.issue_width)
+
+let clock_power (cfg : Config.Machine.t) =
+  (* the clock tree drives every clocked structure: proportional to the
+     summed per-access energies as a capacitance proxy *)
+  let total =
+    icache_energy cfg +. dcache_energy cfg +. (0.25 *. l2_energy cfg)
+    +. bpred_energy cfg +. ruu_energy cfg +. lsq_energy cfg
+    +. regfile_energy cfg +. fetch_energy cfg +. dispatch_energy cfg
+    +. (float_of_int cfg.issue_width *. alu_energy cfg)
+  in
+  0.9 *. total

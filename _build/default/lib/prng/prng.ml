@@ -1,0 +1,120 @@
+(* PCG32: 64-bit LCG state, XSH-RR output permutation. *)
+
+type t = {
+  mutable state : int64;
+  inc : int64; (* must be odd; selects the stream *)
+}
+
+let multiplier = 6364136223846793005L
+
+let step t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc
+
+let output state =
+  (* xorshifted = ((state >> 18) ^ state) >> 27, rotated right by state >> 59 *)
+  let open Int64 in
+  let xorshifted =
+    to_int32 (shift_right_logical (logxor (shift_right_logical state 18) state) 27)
+  in
+  let rot = to_int (shift_right_logical state 59) in
+  let open Int32 in
+  logor
+    (shift_right_logical xorshifted rot)
+    (shift_left xorshifted ((-rot) land 31))
+
+let bits32 t =
+  let old = t.state in
+  step t;
+  output old
+
+let make ~state ~inc =
+  let t = { state = 0L; inc = Int64.logor (Int64.shift_left inc 1) 1L } in
+  step t;
+  t.state <- Int64.add t.state state;
+  step t;
+  t
+
+let create ~seed =
+  make ~state:(Int64.of_int seed) ~inc:(Int64.of_int (seed lxor 0x5851f42d))
+
+let split t =
+  let s = Int64.of_int32 (bits32 t) in
+  let i = Int64.of_int32 (bits32 t) in
+  make ~state:s ~inc:i
+
+let copy t = { state = t.state; inc = t.inc }
+
+let mask32 = 0xFFFFFFFF
+
+let bits t = Int32.to_int (bits32 t) land mask32
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if n land (n - 1) = 0 then bits t land (n - 1)
+  else begin
+    (* rejection sampling to avoid modulo bias *)
+    let limit = mask32 - (mask32 + 1) mod n in
+    let rec draw () =
+      let v = bits t in
+      if v <= limit then v mod n else draw ()
+    in
+    draw ()
+  end
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t = float_of_int (bits t) *. (1.0 /. 4294967296.0)
+
+let float t x = unit_float t *. x
+
+let bool t = bits t land 1 = 1
+
+let bernoulli t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else unit_float t < p
+
+let normal t ~mean ~stddev =
+  (* Box-Muller; one value per call keeps the state trajectory simple. *)
+  let u1 = 1.0 -. unit_float t (* in (0,1] so log is finite *)
+  and u2 = unit_float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mean +. (stddev *. r *. cos (2.0 *. Float.pi *. u2))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of (0,1]";
+  if p >= 1.0 then 1
+  else
+    let u = 1.0 -. unit_float t in
+    1 + int_of_float (log u /. log (1.0 -. p))
+
+let exponential t ~mean =
+  let u = 1.0 -. unit_float t in
+  -.mean *. log u
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_weighted t ~weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Prng.choose_weighted: weights sum to zero";
+  let x = float t total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

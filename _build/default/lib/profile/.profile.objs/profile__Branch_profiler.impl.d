@@ -1,0 +1,1 @@
+lib/profile/branch_profiler.ml: Array Branch Config Isa

@@ -1,0 +1,1 @@
+lib/profile/branch_profiler.mli: Branch Config Isa

@@ -1,0 +1,1 @@
+lib/profile/serialize.ml: Array Config Fun Hashtbl Isa List Printf Sfg Stat_profile Stats String

@@ -1,0 +1,1 @@
+lib/profile/serialize.mli: Stat_profile

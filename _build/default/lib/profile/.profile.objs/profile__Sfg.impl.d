@@ -1,0 +1,1 @@
+lib/profile/sfg.ml: Array Hashtbl Isa Stats

@@ -1,0 +1,1 @@
+lib/profile/sfg.mli: Hashtbl Isa Stats

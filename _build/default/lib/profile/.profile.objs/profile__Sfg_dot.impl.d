@@ -1,0 +1,1 @@
+lib/profile/sfg_dot.ml: Float Format Fun Hashtbl List Printf Sfg Stat_profile String

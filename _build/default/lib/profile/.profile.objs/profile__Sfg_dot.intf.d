@@ -1,0 +1,1 @@
+lib/profile/sfg_dot.mli: Format Stat_profile

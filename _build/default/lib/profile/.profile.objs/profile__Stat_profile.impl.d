@@ -1,0 +1,1 @@
+lib/profile/stat_profile.ml: Array Branch Branch_profiler Cache Config Hashtbl Isa List Option Sfg Stats

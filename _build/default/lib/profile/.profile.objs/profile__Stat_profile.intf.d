@@ -1,0 +1,1 @@
+lib/profile/stat_profile.mli: Branch_profiler Config Isa Sfg

@@ -1,0 +1,46 @@
+(** Branch profiling — Section 2.1.3 and the second contribution of the
+    paper.
+
+    [Immediate] is the naive approach the paper criticizes: the
+    predictor is updated right after each lookup, which overstates
+    predictability relative to a pipelined machine.
+
+    [Delayed] models delayed update with a FIFO buffer sized like the
+    instruction fetch queue: a branch is *looked up* when it enters the
+    FIFO (on potentially stale tables, like a real fetch engine) and the
+    tables are *updated* when it leaves (the paper's speculative update
+    at dispatch time). When a removed branch turns out mispredicted, the
+    lookups still in the FIFO are squashed and redone — they model the
+    wrong-path fetches that get re-fetched after the squash.
+
+    Results are delivered through a callback because delayed resolutions
+    are only final at FIFO exit. *)
+
+type mode =
+  | Immediate
+  | Delayed of { fifo_size : int; squash_refetch : bool }
+
+val default_delayed : Config.Machine.t -> mode
+(** FIFO sized to the machine's IFQ, with squash-and-refill, as in the
+    paper. *)
+
+type 'a t
+(** A profiler whose callbacks carry a caller-chosen tag of type ['a]
+    (e.g. the SFG node of the branch). *)
+
+val create :
+  Config.Machine.t ->
+  mode ->
+  on_result:('a -> Isa.Dyn_inst.t -> Branch.Predictor.resolution -> unit) ->
+  'a t
+
+val push : 'a t -> 'a -> Isa.Dyn_inst.t -> unit
+(** Feed the next dynamic instruction (all instructions, not only
+    branches — non-branches occupy FIFO slots and create the update
+    delay). *)
+
+val flush : 'a t -> unit
+(** Drain the FIFO at end of stream, delivering remaining results. *)
+
+val mispredicts : 'a t -> int
+val branches : 'a t -> int

@@ -1,0 +1,22 @@
+(** Persistent statistical profiles.
+
+    Profiling is the expensive step of the methodology (it walks the
+    whole reference execution); a design-space exploration wants to pay
+    it once and reload the profile later. The format is a versioned,
+    line-oriented text format: stable across runs (profiles are
+    deterministic), diff-able, and independent of OCaml's marshalling.
+
+    The machine configuration the profile was collected with is stored
+    alongside the statistics, because locality characteristics are only
+    valid for that cache/predictor configuration (paper Section 4.4). *)
+
+val save : Stat_profile.t -> out_channel -> unit
+val load : in_channel -> Stat_profile.t
+(** Raises [Failure] with a line-number diagnostic on malformed input,
+    and on an unsupported format version. *)
+
+val save_file : Stat_profile.t -> string -> unit
+val load_file : string -> Stat_profile.t
+
+val version : int
+(** Current format version. *)

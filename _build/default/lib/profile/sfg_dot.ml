@@ -1,0 +1,48 @@
+let node_label (n : Sfg.node) =
+  let base = Printf.sprintf "b%d (%d)" n.block n.occurrences in
+  let extras = ref [] in
+  if Sfg.mispredict_rate n > 0.0 then
+    extras := Printf.sprintf "mis %.0f%%" (100.0 *. Sfg.mispredict_rate n) :: !extras;
+  if Sfg.l1d_rate n > 0.0 then
+    extras := Printf.sprintf "d$ %.0f%%" (100.0 *. Sfg.l1d_rate n) :: !extras;
+  match !extras with
+  | [] -> base
+  | es -> base ^ "\\n" ^ String.concat " " es
+
+let emit ?(max_nodes = 200) (p : Stat_profile.t) ppf =
+  let nodes =
+    Sfg.nodes p.sfg
+    |> List.sort (fun (a : Sfg.node) b -> compare b.occurrences a.occurrences)
+  in
+  let kept = List.filteri (fun i _ -> i < max_nodes) nodes in
+  let kept_keys = Hashtbl.create 256 in
+  List.iter (fun (n : Sfg.node) -> Hashtbl.replace kept_keys n.key ()) kept;
+  Format.fprintf ppf "digraph sfg {@.  node [shape=ellipse, fontsize=9];@.";
+  Format.fprintf ppf "  label=\"SFG k=%d, %d nodes (%d shown)\";@." p.k
+    (Sfg.node_count p.sfg) (List.length kept);
+  List.iter
+    (fun (n : Sfg.node) ->
+      Format.fprintf ppf "  n%d [label=\"%s\"];@." n.key (node_label n))
+    kept;
+  List.iter
+    (fun (n : Sfg.node) ->
+      let total =
+        Hashtbl.fold (fun _ c acc -> acc + !c) n.edges 0 |> float_of_int
+      in
+      Hashtbl.iter
+        (fun succ count ->
+          if Hashtbl.mem kept_keys succ then
+            Format.fprintf ppf "  n%d -> n%d [label=\"%.0f%%\"];@." n.key succ
+              (100.0 *. float_of_int !count /. Float.max 1.0 total))
+        n.edges)
+    kept;
+  Format.fprintf ppf "}@."
+
+let to_file ?max_nodes p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      emit ?max_nodes p ppf;
+      Format.pp_print_flush ppf ())

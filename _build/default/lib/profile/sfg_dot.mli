@@ -1,0 +1,10 @@
+(** Graphviz export of a statistical flow graph: nodes show the block
+    (with its history when k > 0), occurrence counts and headline
+    locality rates; edges show transition probabilities — the picture
+    the paper draws in its Figure 2. *)
+
+val emit : ?max_nodes:int -> Stat_profile.t -> Format.formatter -> unit
+(** Nodes beyond [max_nodes] (default 200, by descending occurrence) are
+    elided to keep renders readable. *)
+
+val to_file : ?max_nodes:int -> Stat_profile.t -> string -> unit

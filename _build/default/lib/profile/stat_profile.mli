@@ -1,0 +1,75 @@
+(** One-pass statistical profiling (Figure 1, step 1): builds the
+    order-[k] SFG with all microarchitecture-independent characteristics
+    (instruction classes, operand counts, dependency-distance
+    distributions) and the microarchitecture-dependent locality events
+    (branch probabilities via the immediate or delayed-update profiler,
+    cache/TLB miss probabilities via functional cache simulation). *)
+
+type t = {
+  sfg : Sfg.t;
+  k : int;
+  cfg : Config.Machine.t;
+  instructions : int;  (** profiled dynamic instruction count *)
+  perfect_caches : bool;
+  perfect_bpred : bool;
+  branches : int;
+  mispredicts : int;  (** per the profiling branch model *)
+}
+
+val collect :
+  ?k:int ->
+  ?dep_cap:int ->
+  ?branch_mode:Branch_profiler.mode ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  (unit -> Isa.Dyn_inst.t option) ->
+  t
+(** Defaults: [k = 1] (the paper's choice after Figure 4) and delayed
+    branch profiling with a FIFO sized to the IFQ (the paper's proposal).
+    [dep_cap] truncates recorded dependency distances (default and
+    maximum {!Sfg.dep_cap} = 512, the paper's bound).
+    [perfect_caches] / [perfect_bpred] zero the corresponding event
+    probabilities, for the idealized studies of Figures 4 and 5. *)
+
+val collect_chunked :
+  ?k:int ->
+  ?dep_cap:int ->
+  ?branch_mode:Branch_profiler.mode ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  (unit -> Isa.Dyn_inst.t option) ->
+  chunk_length:int ->
+  t list
+(** Split one stream into consecutive chunks and build a separate profile
+    per chunk — the per-phase / per-sample scenarios of Section 4.4.
+    Unlike calling {!collect} per chunk, the cache, TLB, predictor and
+    register state stay warm across chunk boundaries, as they would in
+    the paper's contiguous-sample profiling of a long execution. *)
+
+val collect_multi_cache :
+  ?k:int ->
+  ?dep_cap:int ->
+  ?branch_mode:Branch_profiler.mode ->
+  Config.Machine.t ->
+  variants:Config.Machine.t list ->
+  (unit -> Isa.Dyn_inst.t option) ->
+  t * t list
+(** Single-pass multi-configuration cache profiling, in the spirit of the
+    cheetah simulator the paper points to (Section 2.1.2): one walk over
+    the stream profiles the base configuration fully and, in parallel,
+    measures the cache/TLB events of every [variant] configuration. The
+    returned variant profiles share the (microarchitecture-independent)
+    instruction statistics with the base profile and carry their own
+    locality annotations. Variants must differ from the base only in
+    cache/TLB geometry — same predictor and fetch queue — or
+    [Invalid_argument] is raised. *)
+
+val mpki : t -> float
+(** Branch mispredictions per 1,000 instructions as seen by the
+    *profiler* — the "branch profiling" bars of Figure 3. *)
+
+val mean_block_size : t -> float
+(** Average dynamic basic-block size (instructions per block
+    occurrence), used by the HLS baseline. *)

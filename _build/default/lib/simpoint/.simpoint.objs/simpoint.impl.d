@@ -1,0 +1,1 @@
+lib/simpoint/simpoint.ml: Array Hashtbl Isa Kmeans List Option Prng Uarch

@@ -1,0 +1,1 @@
+lib/simpoint/simpoint.mli: Config Isa Kmeans Uarch

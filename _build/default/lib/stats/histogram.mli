@@ -1,0 +1,50 @@
+(** Integer-keyed frequency histogram with cumulative sampling.
+
+    This is the workhorse of the statistical profile: dependency-distance
+    distributions, basic-block size distributions and instruction-mix
+    tables are all histograms. Sampling uses the cumulative distribution
+    as prescribed by the paper's synthetic-trace-generation algorithm. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add : t -> int -> unit
+(** [add h v] records one observation of value [v]. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many h v n] records [n] observations of [v]. *)
+
+val count : t -> int -> int
+(** Observations of an exact value. *)
+
+val total : t -> int
+(** Total number of observations. *)
+
+val is_empty : t -> bool
+
+val mean : t -> float
+(** Mean of the observed values; 0 for an empty histogram. *)
+
+val stddev : t -> float
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter h f] applies [f value count] over the support in increasing
+    value order. *)
+
+val support : t -> int list
+(** Observed values, increasing. *)
+
+val max_value : t -> int
+(** Largest observed value; raises [Invalid_argument] if empty. *)
+
+val sample : t -> Prng.t -> int
+(** Draw a value with probability proportional to its count, using the
+    cumulative distribution. Raises [Invalid_argument] if empty. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] adds all of [src]'s observations into [dst]. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs))
+
+let cov xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+let absolute_error ~reference ~predicted =
+  if reference = 0.0 then invalid_arg "Summary.absolute_error: zero reference";
+  Float.abs (predicted -. reference) /. Float.abs reference
+
+let relative_error ~ref_a ~ref_b ~pred_a ~pred_b =
+  if ref_a = 0.0 || pred_a = 0.0 then
+    invalid_arg "Summary.relative_error: zero design point A";
+  let ref_trend = ref_b /. ref_a in
+  if ref_trend = 0.0 then invalid_arg "Summary.relative_error: zero trend";
+  let pred_trend = pred_b /. pred_a in
+  Float.abs (pred_trend -. ref_trend) /. Float.abs ref_trend
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logsum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Summary.geomean: non-positive value";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (logsum /. float_of_int (List.length xs))
+
+let percent x = 100.0 *. x

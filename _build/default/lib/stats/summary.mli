@@ -1,0 +1,24 @@
+(** Summary statistics over float samples and the error metrics of the
+    paper's evaluation (Section 4). *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val cov : float list -> float
+(** Coefficient of variation: stddev / mean (Section 4.1's convergence
+    metric). 0 for an empty or zero-mean sample. *)
+
+val absolute_error : reference:float -> predicted:float -> float
+(** [AE_M = |M_SS - M_EDS| / M_EDS] (Section 4.2). *)
+
+val relative_error :
+  ref_a:float -> ref_b:float -> pred_a:float -> pred_b:float -> float
+(** [RE_M = |(M_B,SS / M_A,SS) - (M_B,EDS / M_A,EDS)| / (M_B,EDS / M_A,EDS)]
+    (Section 4.5): error on the predicted trend when moving from design
+    point A to design point B. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values. *)
+
+val percent : float -> float
+(** Scale a ratio to percent. *)

@@ -1,0 +1,1 @@
+lib/synth/generate.ml: Array Hashtbl Isa List Prng Profile Stats Trace

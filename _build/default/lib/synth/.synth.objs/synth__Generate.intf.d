@@ -1,0 +1,1 @@
+lib/synth/generate.mli: Profile Trace

@@ -1,0 +1,1 @@
+lib/synth/run.ml: List Synth_feed Uarch

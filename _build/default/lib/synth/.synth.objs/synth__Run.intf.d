@@ -1,0 +1,1 @@
+lib/synth/run.mli: Config Trace Uarch

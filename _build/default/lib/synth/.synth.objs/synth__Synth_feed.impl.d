@@ -1,0 +1,1 @@
+lib/synth/synth_feed.ml: Array Branch Bytes Cache Config Trace Uarch

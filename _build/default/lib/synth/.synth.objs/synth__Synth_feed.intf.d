@@ -1,0 +1,1 @@
+lib/synth/synth_feed.mli: Config Trace Uarch

@@ -1,0 +1,1 @@
+lib/synth/trace.ml: Array Isa Profile

@@ -1,0 +1,1 @@
+lib/synth/trace_stats.ml: Array Float Format Isa List Profile Stats Trace

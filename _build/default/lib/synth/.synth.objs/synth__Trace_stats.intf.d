@@ -1,0 +1,1 @@
+lib/synth/trace_stats.mli: Format Profile Trace

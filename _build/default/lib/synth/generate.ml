@@ -1,0 +1,186 @@
+type rnode = {
+  node : Profile.Sfg.node;
+  mutable remaining : int;
+  mutable out_keys : int array;  (* successor keys surviving reduction *)
+  mutable out_weights : float array;
+}
+
+let dep_retries = 1_000
+
+let sample_flag rng num den =
+  den > 0 && Prng.bernoulli rng (float_of_int num /. float_of_int den)
+
+(* conditional L2 sampling: P(l2 | l1 miss) = l2_misses / l1_misses *)
+let sample_l2 rng ~l1 ~l2_misses ~l1_misses =
+  l1 && sample_flag rng l2_misses l1_misses
+
+let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
+  let total_instructions = max 1 p.instructions in
+  let r =
+    match (reduction, target_length) with
+    | Some r, None -> r
+    | None, Some len -> max 1 (total_instructions / max 1 len)
+    | None, None -> 100
+    | Some _, Some _ ->
+      invalid_arg "Generate.generate: give reduction or target_length, not both"
+  in
+  if r < 1 then invalid_arg "Generate.generate: reduction must be >= 1";
+  let rng = Prng.create ~seed in
+  (* step 0: the reduced statistical flow graph *)
+  let by_key = Hashtbl.create 1024 in
+  Profile.Sfg.iter_nodes p.sfg (fun n ->
+      let remaining = n.occurrences / r in
+      if remaining > 0 then
+        Hashtbl.add by_key n.key
+          { node = n; remaining; out_keys = [||]; out_weights = [||] });
+  if Hashtbl.length by_key = 0 then
+    invalid_arg
+      "Generate.generate: reduction factor leaves an empty graph (R too \
+       large for this profile)";
+  Hashtbl.iter
+    (fun _ rn ->
+      let keys = ref [] and weights = ref [] in
+      Hashtbl.iter
+        (fun succ count ->
+          if Hashtbl.mem by_key succ then begin
+            keys := succ :: !keys;
+            weights := float_of_int !count :: !weights
+          end)
+        rn.node.edges;
+      rn.out_keys <- Array.of_list !keys;
+      rn.out_weights <- Array.of_list !weights)
+    by_key;
+  let live = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) by_key 0 in
+  let out = ref [] in
+  let emitted = ref 0 in
+  (* recent destination-producing status, for the dependency retry rule *)
+  let recent_has_dest = Array.make (Profile.Sfg.dep_cap + 1) true in
+  let pos = ref 0 in
+  let emit_inst (i : Trace.inst) =
+    out := i :: !out;
+    recent_has_dest.(!pos mod (Profile.Sfg.dep_cap + 1)) <-
+      Isa.Iclass.has_dest i.klass;
+    incr pos;
+    incr emitted
+  in
+  let producer_has_dest delta =
+    let target = !pos - delta in
+    target < 0
+    || recent_has_dest.(target mod (Profile.Sfg.dep_cap + 1))
+  in
+  let sample_dep hist =
+    if Stats.Histogram.is_empty hist then 0
+    else begin
+      let rec try_draw n =
+        if n = 0 then 0 (* squash the dependency, per the paper *)
+        else
+          let delta = Stats.Histogram.sample hist rng in
+          if producer_has_dest delta then delta else try_draw (n - 1)
+      in
+      try_draw dep_retries
+    end
+  in
+  let emit_block (rn : rnode) =
+    let n = rn.node in
+    Array.iter
+      (fun (slot : Profile.Sfg.slot) ->
+        let raw = Array.map sample_dep slot.deps in
+        let deps =
+          (* anti/output dependencies generated only when the profile
+             recorded them (in-order / no-renaming machines) *)
+          if Stats.Histogram.is_empty slot.waw && Stats.Histogram.is_empty slot.war
+          then raw
+          else Array.append raw [| sample_dep slot.waw; sample_dep slot.war |]
+        in
+        let l1i = sample_flag rng n.l1i_misses n.fetches in
+        let l2i =
+          sample_l2 rng ~l1:l1i ~l2_misses:n.l2i_misses ~l1_misses:n.l1i_misses
+        in
+        let itlb = sample_flag rng n.itlb_misses n.fetches in
+        let is_load = Isa.Iclass.is_load slot.klass in
+        let l1d = is_load && sample_flag rng n.l1d_misses n.loads in
+        let l2d =
+          is_load
+          && sample_l2 rng ~l1:l1d ~l2_misses:n.l2d_misses
+               ~l1_misses:n.l1d_misses
+        in
+        let dtlb = is_load && sample_flag rng n.dtlb_misses n.loads in
+        let branch =
+          if not (Isa.Iclass.is_branch slot.klass) then None
+          else begin
+            let taken =
+              if n.br_execs = 0 then true
+              else sample_flag rng n.br_taken n.br_execs
+            in
+            let mis_p = Profile.Sfg.mispredict_rate n in
+            let red_p = Profile.Sfg.redirect_rate n in
+            let u = Prng.unit_float rng in
+            let mispredict = u < mis_p in
+            let redirect = (not mispredict) && u < mis_p +. red_p in
+            Some { Trace.taken; mispredict; redirect }
+          end
+        in
+        emit_inst
+          {
+            Trace.klass = slot.klass;
+            deps;
+            l1i_miss = l1i;
+            l2i_miss = l2i;
+            itlb_miss = itlb;
+            l1d_miss = l1d;
+            l2d_miss = l2d;
+            dtlb_miss = dtlb;
+            block = n.block;
+            branch;
+          })
+      n.slots
+  in
+  (* step 1: start-node selection by cumulative occurrence distribution *)
+  let pick_start () =
+    let total = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) by_key 0 in
+    if total = 0 then None
+    else begin
+      let x = 1 + Prng.int rng total in
+      let acc = ref 0 and chosen = ref None in
+      (try
+         Hashtbl.iter
+           (fun _ rn ->
+             if rn.remaining > 0 then begin
+               acc := !acc + rn.remaining;
+               if !acc >= x then begin
+                 chosen := Some rn;
+                 raise Exit
+               end
+             end)
+           by_key
+       with Exit -> ());
+      !chosen
+    end
+  in
+  let visits = ref 0 in
+  (* k = 0 means "no edges in the graph" (Section 2.1.1): blocks are
+     drawn independently from the occurrence distribution *)
+  let use_edges = p.k > 0 in
+  let rec walk rn =
+    rn.remaining <- rn.remaining - 1;
+    incr visits;
+    emit_block rn;
+    (* step 9: follow an outgoing edge by transition probability *)
+    if (not use_edges) || Array.length rn.out_keys = 0 then restart ()
+    else begin
+      let idx = Prng.choose_weighted rng ~weights:rn.out_weights in
+      let succ = Hashtbl.find by_key rn.out_keys.(idx) in
+      if succ.remaining > 0 then walk succ else restart ()
+    end
+  and restart () =
+    if !visits < live then
+      match pick_start () with Some rn -> walk rn | None -> ()
+  in
+  restart ();
+  ignore !emitted;
+  {
+    Trace.insts = Array.of_list (List.rev !out);
+    k = p.k;
+    reduction = r;
+    seed;
+  }

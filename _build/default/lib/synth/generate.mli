@@ -1,0 +1,28 @@
+(** Synthetic trace generation (Section 2.2): reduce the SFG by the
+    trace reduction factor R, then walk it randomly following the
+    paper's nine-step algorithm.
+
+    Reduction: every node's occurrence count is divided by R (floor);
+    nodes that reach zero are removed together with their edges. The
+    walk starts at a node drawn from the cumulative occurrence
+    distribution, decrements the visited node's count, emits the block's
+    instructions with sampled characteristics, and follows an outgoing
+    edge drawn from the cumulative transition distribution; dead ends
+    (no surviving outgoing edge, or an exhausted successor) restart at
+    step 1. Generation terminates when all occurrence counts are zero,
+    so the trace length is within one block of
+    [total occurrences / R] blocks.
+
+    Dependency sampling implements the paper's retry rule: a sampled
+    distance whose producer would be a branch or store (no destination
+    register) is re-drawn up to 1,000 times, then dropped. *)
+
+val generate :
+  ?reduction:int ->
+  ?target_length:int ->
+  Profile.Stat_profile.t ->
+  seed:int ->
+  Trace.t
+(** Provide either [reduction] (R) directly or [target_length] in
+    instructions (R is then derived); defaults to [reduction = 100].
+    Raises [Invalid_argument] if the reduced graph is empty. *)

@@ -1,0 +1,15 @@
+module P = Uarch.Pipeline.Make (Synth_feed)
+
+let run ?wrong_path_locality cfg trace =
+  P.run cfg (Synth_feed.create ?wrong_path_locality cfg trace)
+
+let run_many cfg traces = List.map (run cfg) traces
+
+let mean_ipc metrics =
+  let insts =
+    List.fold_left (fun acc (m : Uarch.Metrics.t) -> acc + m.committed) 0 metrics
+  in
+  let cycles =
+    List.fold_left (fun acc (m : Uarch.Metrics.t) -> acc + m.cycles) 0 metrics
+  in
+  if cycles = 0 then 0.0 else float_of_int insts /. float_of_int cycles

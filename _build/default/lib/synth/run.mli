@@ -1,0 +1,12 @@
+(** Convenience runner: simulate a synthetic trace on the shared pipeline
+    core (Figure 1, step 3). *)
+
+val run :
+  ?wrong_path_locality:bool -> Config.Machine.t -> Trace.t -> Uarch.Metrics.t
+
+val run_many : Config.Machine.t -> Trace.t list -> Uarch.Metrics.t list
+
+val mean_ipc : Uarch.Metrics.t list -> float
+(** Instruction-weighted mean IPC across traces (used when several
+    synthetic traces model the phases of one long execution,
+    Section 4.4). *)

@@ -1,0 +1,30 @@
+type branch = { taken : bool; mispredict : bool; redirect : bool }
+
+type inst = {
+  klass : Isa.Iclass.t;
+  deps : int array;
+  l1i_miss : bool;
+  l2i_miss : bool;
+  itlb_miss : bool;
+  l1d_miss : bool;
+  l2d_miss : bool;
+  dtlb_miss : bool;
+  block : int;
+  branch : branch option;
+}
+
+type t = { insts : inst array; k : int; reduction : int; seed : int }
+
+let length t = Array.length t.insts
+
+let well_formed i =
+  let branch_ok = Isa.Iclass.is_branch i.klass = (i.branch <> None) in
+  let dload_ok =
+    Isa.Iclass.is_load i.klass
+    || ((not i.l1d_miss) && (not i.l2d_miss) && not i.dtlb_miss)
+  in
+  let l2_ok = (not i.l2d_miss || i.l1d_miss) && (not i.l2i_miss || i.l1i_miss) in
+  let deps_ok =
+    Array.for_all (fun d -> d >= 0 && d <= Profile.Sfg.dep_cap) i.deps
+  in
+  branch_ok && dload_ok && l2_ok && deps_ok

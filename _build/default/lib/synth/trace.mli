@@ -1,0 +1,31 @@
+(** The synthetic trace (Figure 1, step 2 output): a short sequence of
+    statistically generated instructions. Every instruction carries its
+    class, positional RAW dependencies and pre-assigned locality
+    outcomes, so the trace-driven simulator needs neither caches nor
+    branch predictors (Section 2.3). *)
+
+type branch = { taken : bool; mispredict : bool; redirect : bool }
+
+type inst = {
+  klass : Isa.Iclass.t;
+  deps : int array;
+      (** dependency distance per operand; 0 means no dependency *)
+  l1i_miss : bool;
+  l2i_miss : bool;
+  itlb_miss : bool;
+  l1d_miss : bool;  (** loads only *)
+  l2d_miss : bool;
+  dtlb_miss : bool;
+  block : int;  (** originating basic block (for diagnostics) *)
+  branch : branch option;
+}
+
+type t = {
+  insts : inst array;
+  k : int;  (** order of the source SFG *)
+  reduction : int;  (** the paper's synthetic trace reduction factor R *)
+  seed : int;
+}
+
+val length : t -> int
+val well_formed : inst -> bool

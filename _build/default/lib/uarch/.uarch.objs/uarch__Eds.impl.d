@@ -1,0 +1,1 @@
+lib/uarch/eds.ml: Eds_feed Pipeline

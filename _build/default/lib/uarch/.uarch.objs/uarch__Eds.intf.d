@@ -1,0 +1,1 @@
+lib/uarch/eds.mli: Config Eds_feed Isa Metrics

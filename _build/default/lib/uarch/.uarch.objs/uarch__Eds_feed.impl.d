@@ -1,0 +1,1 @@
+lib/uarch/eds_feed.ml: Array Branch Cache Config Feed Isa Option

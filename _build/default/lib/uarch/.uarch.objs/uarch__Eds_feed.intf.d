@@ -1,0 +1,1 @@
+lib/uarch/eds_feed.mli: Branch Cache Config Feed Isa

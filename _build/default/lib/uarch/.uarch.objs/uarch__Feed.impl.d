@@ -1,0 +1,1 @@
+lib/uarch/feed.ml: Array Branch Cache Isa

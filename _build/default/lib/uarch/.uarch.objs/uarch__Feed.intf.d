@@ -1,0 +1,1 @@
+lib/uarch/feed.mli: Branch Cache Isa

@@ -1,0 +1,1 @@
+lib/uarch/metrics.ml: Format Power

@@ -1,0 +1,1 @@
+lib/uarch/metrics.mli: Format Power

@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Branch Cache Config Feed Hashtbl Isa List Metrics Power Printf Queue

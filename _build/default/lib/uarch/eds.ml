@@ -1,0 +1,12 @@
+module P = Pipeline.Make (Eds_feed)
+
+let run_with_feed ?max_instructions ?commit_hook ?perfect_caches
+    ?perfect_bpred cfg gen =
+  let feed = Eds_feed.create ?perfect_caches ?perfect_bpred cfg gen in
+  let metrics = P.run ?max_instructions ?commit_hook cfg feed in
+  (metrics, feed)
+
+let run ?max_instructions ?commit_hook ?perfect_caches ?perfect_bpred cfg gen =
+  fst
+    (run_with_feed ?max_instructions ?commit_hook ?perfect_caches
+       ?perfect_bpred cfg gen)

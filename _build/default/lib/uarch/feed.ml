@@ -1,0 +1,60 @@
+type branch_summary = {
+  taken : bool;
+  resolution : Branch.Predictor.resolution;
+}
+
+type fetched = {
+  seq : int;
+  pc : int;
+  klass : Isa.Iclass.t;
+  mem_addr : int;  (* effective address for EDS memory ops; -1 otherwise *)
+  producers : int array;
+  branch : branch_summary option;
+}
+
+module type S = sig
+  type t
+
+  val fetch : t -> int -> fetched option
+
+  val ifetch_access :
+    t -> fetched -> wrong_path:bool -> Cache.Hierarchy.outcome * int
+
+  val load_access :
+    t -> fetched -> wrong_path:bool -> Cache.Hierarchy.outcome * int
+
+  val on_commit_store : t -> fetched -> Cache.Hierarchy.outcome
+  val on_dispatch : t -> fetched -> wrong_path:bool -> unit
+end
+
+module Ring = struct
+  type 'a t = {
+    produce : unit -> 'a option;
+    window : int;
+    buf : 'a option array;
+    mutable produced : int;
+    mutable finished : bool;
+  }
+
+  let create ?(window = 16384) produce =
+    { produce; window; buf = Array.make window None; produced = 0; finished = false }
+
+  let pull t =
+    if not t.finished then begin
+      match t.produce () with
+      | None -> t.finished <- true
+      | Some x ->
+        t.buf.(t.produced mod t.window) <- Some x;
+        t.produced <- t.produced + 1
+    end
+
+  let get t i =
+    if i < 0 then invalid_arg "Feed.Ring.get: negative index";
+    while t.produced <= i && not t.finished do
+      pull t
+    done;
+    if i >= t.produced then None
+    else if i < t.produced - t.window then
+      invalid_arg "Feed.Ring.get: index slid out of window"
+    else t.buf.(i mod t.window)
+end

@@ -1,0 +1,63 @@
+(** The interface between the pipeline core and its instruction source.
+
+    Both simulators of the paper are instances of one pipeline over
+    different feeds (DESIGN.md Section 5):
+
+    - the execution-driven feed answers from a real dynamic instruction
+      stream, real caches and a real branch predictor;
+    - the synthetic feed answers from a statistically generated trace
+      whose locality outcomes were pre-assigned during generation.
+
+    Positions are absolute stream indices. After a misprediction squash
+    the pipeline re-fetches positions it has already seen (the wrong-path
+    instructions re-played as correct path, exactly as in Section 2.3),
+    so feeds memoize recent positions — use {!Ring}. *)
+
+type branch_summary = {
+  taken : bool;
+  resolution : Branch.Predictor.resolution;
+}
+
+type fetched = {
+  seq : int;  (** absolute stream position *)
+  pc : int;
+  klass : Isa.Iclass.t;
+  mem_addr : int;  (* effective address for EDS memory ops; -1 otherwise *)
+  producers : int array;
+      (** stream positions of RAW producers; positions already committed
+          resolve as ready *)
+  branch : branch_summary option;
+}
+
+module type S = sig
+  type t
+
+  val fetch : t -> int -> fetched option
+  (** Instruction at a position; [None] at end of stream. Must be
+      consistent across repeated calls for the same position. *)
+
+  val ifetch_access : t -> fetched -> wrong_path:bool -> Cache.Hierarchy.outcome * int
+  (** Instruction-memory behaviour when this instruction is fetched. *)
+
+  val load_access : t -> fetched -> wrong_path:bool -> Cache.Hierarchy.outcome * int
+  (** Data-memory behaviour when a load issues. *)
+
+  val on_commit_store : t -> fetched -> Cache.Hierarchy.outcome
+  (** A store leaves the LSQ at commit and performs its memory write. *)
+
+  val on_dispatch : t -> fetched -> wrong_path:bool -> unit
+  (** Called when an instruction enters the RUU — the point of the
+      paper's speculative branch-predictor update. *)
+end
+
+(** Memoizing sliding window over a positional producer, for feeds. *)
+module Ring : sig
+  type 'a t
+
+  val create : ?window:int -> (unit -> 'a option) -> 'a t
+  (** [create produce] pulls from [produce] on demand; keeps the last
+      [window] (default 16384) items for re-reads. *)
+
+  val get : 'a t -> int -> 'a option
+  (** Raises [Invalid_argument] on an index older than the window. *)
+end

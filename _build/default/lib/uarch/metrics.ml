@@ -1,0 +1,29 @@
+type t = {
+  cycles : int;
+  committed : int;
+  activity : Power.Activity.t;
+  branches : int;
+  mispredicts : int;
+  redirects : int;
+  taken : int;
+  loads : int;
+  stores : int;
+}
+
+let ipc t =
+  if t.cycles = 0 then 0.0 else float_of_int t.committed /. float_of_int t.cycles
+
+let mpki t =
+  if t.committed = 0 then 0.0
+  else 1000.0 *. float_of_int t.mispredicts /. float_of_int t.committed
+
+let avg_ruu_occupancy t = Power.Activity.avg_ruu_occupancy t.activity
+let avg_lsq_occupancy t = Power.Activity.avg_lsq_occupancy t.activity
+let avg_ifq_occupancy t = Power.Activity.avg_ifq_occupancy t.activity
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>IPC=%.3f (%d insts / %d cycles) MPKI=%.2f occ: RUU=%.1f LSQ=%.1f \
+     IFQ=%.1f@]"
+    (ipc t) t.committed t.cycles (mpki t) (avg_ruu_occupancy t)
+    (avg_lsq_occupancy t) (avg_ifq_occupancy t)

@@ -1,0 +1,26 @@
+(** Results of one pipeline run: the performance, occupancy and branch
+    statistics every experiment of Section 4 reads, plus the raw activity
+    counters the power model consumes. *)
+
+type t = {
+  cycles : int;
+  committed : int;
+  activity : Power.Activity.t;
+  branches : int;  (** committed branch instructions *)
+  mispredicts : int;  (** committed branches that were mispredicted *)
+  redirects : int;  (** committed branches causing a fetch redirection *)
+  taken : int;  (** committed taken branches *)
+  loads : int;  (** committed loads *)
+  stores : int;
+}
+
+val ipc : t -> float
+
+val mpki : t -> float
+(** Branch mispredictions per 1,000 committed instructions (Figure 3's
+    y-axis). *)
+
+val avg_ruu_occupancy : t -> float
+val avg_lsq_occupancy : t -> float
+val avg_ifq_occupancy : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,364 @@
+type istate = Wait | Ready | Exec | Done
+
+type slot = {
+  f : Feed.fetched;
+  mutable st : istate;
+  mutable complete_at : int;
+  wrong_path : bool;
+  mutable pending : int;  (* producers not yet Done *)
+  mutable waiters : slot list;
+  uses_lsq : bool;
+  mutable valid : bool;
+}
+
+(* functional-unit pools, cf. Config.Machine.fu_pool *)
+let pool_of (c : Isa.Iclass.t) =
+  match c with
+  | Int_alu | Int_branch | Indirect_branch -> 0
+  | Int_mult | Int_div -> 1
+  | Load | Store -> 2
+  | Fp_alu | Fp_branch -> 3
+  | Fp_mult | Fp_div | Fp_sqrt -> 4
+
+let watchdog_cycles = 200_000
+
+module Make (F : Feed.S) = struct
+  type machine = {
+    cfg : Config.Machine.t;
+    feed : F.t;
+    act : Power.Activity.t;
+    ruu : slot option array;
+    mutable head : int;
+    mutable count : int;
+    mutable lsq : int;
+    table : (int, slot) Hashtbl.t;
+    ifq : (Feed.fetched * bool) Queue.t;
+    mutable next_pos : int;
+    mutable fetch_stall_until : int;
+    mutable pending_mispredict : int;  (* seq, or -1 *)
+    mutable cycle : int;
+    mutable stream_done : bool;
+    mutable last_commit_cycle : int;
+    fu_limit : int array;
+    fu_used : int array;
+    (* committed-instruction statistics *)
+    mutable branches : int;
+    mutable mispredicts : int;
+    mutable redirects : int;
+    mutable taken : int;
+    mutable loads : int;
+    mutable stores : int;
+  }
+
+  let create cfg feed =
+    {
+      cfg;
+      feed;
+      act = Power.Activity.create ();
+      ruu = Array.make cfg.Config.Machine.ruu_size None;
+      head = 0;
+      count = 0;
+      lsq = 0;
+      table = Hashtbl.create 512;
+      ifq = Queue.create ();
+      next_pos = 0;
+      fetch_stall_until = 0;
+      pending_mispredict = -1;
+      cycle = 0;
+      stream_done = false;
+      last_commit_cycle = 0;
+      fu_limit =
+        [|
+          cfg.fu.int_alu;
+          cfg.fu.int_mult_div;
+          cfg.fu.mem_ports;
+          cfg.fu.fp_alu;
+          cfg.fu.fp_mult_div;
+        |];
+      fu_used = Array.make 5 0;
+      branches = 0;
+      mispredicts = 0;
+      redirects = 0;
+      taken = 0;
+      loads = 0;
+      stores = 0;
+    }
+
+  let nth m k = m.ruu.((m.head + k) mod Array.length m.ruu)
+
+  let remove_youngest m =
+    let cap = Array.length m.ruu in
+    let idx = (m.head + m.count - 1) mod cap in
+    (match m.ruu.(idx) with
+    | Some s ->
+      s.valid <- false;
+      Hashtbl.remove m.table s.f.seq;
+      if s.uses_lsq then m.lsq <- m.lsq - 1
+    | None -> ());
+    m.ruu.(idx) <- None;
+    m.count <- m.count - 1
+
+  (* Squash everything younger than [seq] and restart the front end just
+     after it. *)
+  let squash m ~seq =
+    let youngest_newer () =
+      m.count > 0
+      &&
+      match nth m (m.count - 1) with
+      | Some s -> s.f.seq > seq
+      | None -> false
+    in
+    while youngest_newer () do
+      remove_youngest m
+    done;
+    Queue.clear m.ifq;
+    m.next_pos <- seq + 1;
+    m.stream_done <- false;
+    m.fetch_stall_until <-
+      max m.fetch_stall_until (m.cycle + m.cfg.mispredict_restart);
+    m.pending_mispredict <- -1
+
+  let commit_stage m ~budget ~hook =
+    let n = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !n < budget && m.count > 0 do
+      match m.ruu.(m.head) with
+      | Some s when s.st = Done ->
+        if Isa.Iclass.is_store s.f.klass then begin
+          let o = F.on_commit_store m.feed s.f in
+          m.act.dcache_accesses <- m.act.dcache_accesses + 1;
+          if o.Cache.Hierarchy.l1_miss then
+            m.act.l2_accesses <- m.act.l2_accesses + 1
+        end;
+        Hashtbl.remove m.table s.f.seq;
+        m.ruu.(m.head) <- None;
+        m.head <- (m.head + 1) mod Array.length m.ruu;
+        m.count <- m.count - 1;
+        if s.uses_lsq then m.lsq <- m.lsq - 1;
+        m.act.committed <- m.act.committed + 1;
+        (match s.f.branch with
+        | None -> ()
+        | Some b ->
+          m.branches <- m.branches + 1;
+          if b.taken then m.taken <- m.taken + 1;
+          (match b.resolution with
+          | Branch.Predictor.Mispredict -> m.mispredicts <- m.mispredicts + 1
+          | Branch.Predictor.Fetch_redirect -> m.redirects <- m.redirects + 1
+          | Branch.Predictor.Correct -> ()));
+        if Isa.Iclass.is_load s.f.klass then m.loads <- m.loads + 1;
+        if Isa.Iclass.is_store s.f.klass then m.stores <- m.stores + 1;
+        m.last_commit_cycle <- m.cycle;
+        (match hook with
+        | Some f -> f ~committed:m.act.committed ~cycle:m.cycle
+        | None -> ());
+        incr n
+      | Some _ | None -> blocked := true
+    done
+
+  let wake s =
+    List.iter
+      (fun w ->
+        if w.valid then begin
+          w.pending <- w.pending - 1;
+          if w.pending = 0 && w.st = Wait then w.st <- Ready
+        end)
+      s.waiters;
+    s.waiters <- []
+
+  let writeback_stage m =
+    let to_squash = ref (-1) in
+    for k = 0 to m.count - 1 do
+      match nth m k with
+      | Some s when s.st = Exec && s.complete_at <= m.cycle ->
+        s.st <- Done;
+        m.act.completed <- m.act.completed + 1;
+        wake s;
+        if s.f.seq = m.pending_mispredict then to_squash := s.f.seq
+      | Some _ | None -> ()
+    done;
+    if !to_squash >= 0 then squash m ~seq:!to_squash
+
+  let issue_stage m =
+    Array.fill m.fu_used 0 5 0;
+    let issued = ref 0 in
+    let k = ref 0 in
+    let stalled = ref false in
+    while (not !stalled) && !issued < m.cfg.issue_width && !k < m.count do
+      (match nth m !k with
+      | Some s when s.st = Ready ->
+        let pool = pool_of s.f.klass in
+        if m.fu_used.(pool) >= m.fu_limit.(pool) && m.cfg.in_order then
+          (* in-order issue: a structural hazard stalls younger work *)
+          stalled := true
+        else if m.fu_used.(pool) < m.fu_limit.(pool) then begin
+          let base = Config.Machine.op_latency s.f.klass in
+          let latency =
+            if Isa.Iclass.is_load s.f.klass then begin
+              let o, lat = F.load_access m.feed s.f ~wrong_path:s.wrong_path in
+              m.act.dcache_accesses <- m.act.dcache_accesses + 1;
+              if o.Cache.Hierarchy.l1_miss then
+                m.act.l2_accesses <- m.act.l2_accesses + 1;
+              base + lat
+            end
+            else base
+          in
+          s.st <- Exec;
+          s.complete_at <- m.cycle + latency;
+          m.fu_used.(pool) <- m.fu_used.(pool) + 1;
+          m.act.issued <- m.act.issued + 1;
+          (match s.f.klass with
+          | Int_alu | Int_branch | Indirect_branch ->
+            m.act.int_alu_ops <- m.act.int_alu_ops + 1
+          | Int_mult | Int_div -> m.act.int_mult_ops <- m.act.int_mult_ops + 1
+          | Fp_alu | Fp_branch | Fp_mult | Fp_div | Fp_sqrt ->
+            m.act.fp_ops <- m.act.fp_ops + 1
+          | Load | Store -> ());
+          incr issued
+        end
+      | Some s when s.st = Wait && m.cfg.in_order ->
+        (* in-order issue: younger instructions wait behind an unready one *)
+        stalled := true
+      | Some _ | None -> ());
+      incr k
+    done
+
+  let dispatch_stage m =
+    let cap = Array.length m.ruu in
+    let n = ref 0 in
+    let blocked = ref false in
+    while
+      (not !blocked)
+      && !n < m.cfg.decode_width
+      && m.count < cap
+      && not (Queue.is_empty m.ifq)
+    do
+      let f, wrong = Queue.peek m.ifq in
+      let is_mem = Isa.Iclass.is_mem f.Feed.klass in
+      if is_mem && m.lsq >= m.cfg.lsq_size then blocked := true
+      else begin
+        ignore (Queue.pop m.ifq);
+        let s =
+          {
+            f;
+            st = Wait;
+            complete_at = max_int;
+            wrong_path = wrong;
+            pending = 0;
+            waiters = [];
+            uses_lsq = is_mem;
+            valid = true;
+          }
+        in
+        Array.iter
+          (fun p ->
+            if p >= 0 then
+              match Hashtbl.find_opt m.table p with
+              | Some prod when prod.valid && prod.st <> Done ->
+                prod.waiters <- s :: prod.waiters;
+                s.pending <- s.pending + 1
+              | Some _ | None -> ())
+          f.producers;
+        if s.pending = 0 then s.st <- Ready;
+        m.ruu.((m.head + m.count) mod cap) <- Some s;
+        m.count <- m.count + 1;
+        Hashtbl.replace m.table f.seq s;
+        if is_mem then begin
+          m.lsq <- m.lsq + 1;
+          m.act.mem_ops <- m.act.mem_ops + 1
+        end;
+        F.on_dispatch m.feed f ~wrong_path:wrong;
+        m.act.dispatched <- m.act.dispatched + 1;
+        incr n
+      end
+    done
+
+  let fetch_stage m =
+    if m.cycle >= m.fetch_stall_until && not m.stream_done then begin
+      let budget = ref (m.cfg.decode_width * m.cfg.fetch_speed) in
+      let taken_budget = ref m.cfg.fetch_speed in
+      let stop = ref false in
+      while
+        (not !stop)
+        && !budget > 0
+        && Queue.length m.ifq < m.cfg.ifq_size
+        && not m.stream_done
+      do
+        match F.fetch m.feed m.next_pos with
+        | None ->
+          m.stream_done <- true
+        | Some f ->
+          let wrong = m.pending_mispredict >= 0 in
+          let o, lat = F.ifetch_access m.feed f ~wrong_path:wrong in
+          m.act.fetched <- m.act.fetched + 1;
+          m.act.icache_accesses <- m.act.icache_accesses + 1;
+          if o.Cache.Hierarchy.l1_miss then
+            m.act.l2_accesses <- m.act.l2_accesses + 1;
+          Queue.add (f, wrong) m.ifq;
+          m.next_pos <- m.next_pos + 1;
+          decr budget;
+          (match f.branch with
+          | None -> ()
+          | Some b ->
+            m.act.bpred_lookups <- m.act.bpred_lookups + 1;
+            if not wrong then begin
+              match b.resolution with
+              | Branch.Predictor.Mispredict -> m.pending_mispredict <- f.seq
+              | Branch.Predictor.Fetch_redirect ->
+                m.fetch_stall_until <- m.cycle + m.cfg.fetch_redirect_penalty;
+                stop := true
+              | Branch.Predictor.Correct -> ()
+            end;
+            if b.taken then begin
+              decr taken_budget;
+              if !taken_budget <= 0 then stop := true
+            end);
+          if lat > m.cfg.icache.hit_latency then begin
+            (* I-cache (or I-TLB) miss: the fetch engine stops fetching
+               for the duration of the miss (Section 2.3) *)
+            m.fetch_stall_until <- m.cycle + lat;
+            stop := true
+          end
+      done
+    end
+
+  let metrics m =
+    {
+      Metrics.cycles = m.cycle;
+      committed = m.act.committed;
+      activity = m.act;
+      branches = m.branches;
+      mispredicts = m.mispredicts;
+      redirects = m.redirects;
+      taken = m.taken;
+      loads = m.loads;
+      stores = m.stores;
+    }
+
+  let run ?(max_instructions = max_int) ?commit_hook cfg feed =
+    let m = create cfg feed in
+    let finished () =
+      m.act.committed >= max_instructions
+      || (m.stream_done && m.count = 0 && Queue.is_empty m.ifq)
+    in
+    while not (finished ()) do
+      commit_stage m ~hook:commit_hook
+        ~budget:(min cfg.commit_width (max_instructions - m.act.committed));
+      writeback_stage m;
+      issue_stage m;
+      dispatch_stage m;
+      fetch_stage m;
+      m.act.cycles <- m.act.cycles + 1;
+      m.act.ruu_occupancy_sum <- m.act.ruu_occupancy_sum + m.count;
+      m.act.lsq_occupancy_sum <- m.act.lsq_occupancy_sum + m.lsq;
+      m.act.ifq_occupancy_sum <- m.act.ifq_occupancy_sum + Queue.length m.ifq;
+      m.cycle <- m.cycle + 1;
+      if m.cycle - m.last_commit_cycle > watchdog_cycles then
+        failwith
+          (Printf.sprintf
+             "Pipeline: no commit for %d cycles (cycle=%d committed=%d \
+              ruu=%d ifq=%d pos=%d) — model bug"
+             watchdog_cycles m.cycle m.act.committed m.count
+             (Queue.length m.ifq) m.next_pos)
+    done;
+    metrics m
+end

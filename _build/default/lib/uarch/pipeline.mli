@@ -1,0 +1,28 @@
+(** Cycle-level out-of-order superscalar pipeline, SimpleScalar
+    sim-outorder style: fetch into an IFQ (stopping on taken branches,
+    I-cache misses and fetch redirections), in-order dispatch into the
+    RUU/LSQ, out-of-order issue to functional-unit pools, writeback with
+    wakeup, in-order commit.
+
+    Branch misprediction is modeled the way Section 2.3 prescribes for
+    the synthetic-trace simulator (and the execution-driven reference
+    uses the same core): when a mispredicted branch is fetched the
+    pipeline keeps fetching subsequent stream positions flagged
+    wrong-path — they contend for the IFQ, RUU, LSQ and functional units
+    — and when the branch completes they are squashed, the fetch position
+    rewinds to just after the branch, and fetch restarts after the
+    configured penalty. *)
+
+module Make (F : Feed.S) : sig
+  val run :
+    ?max_instructions:int ->
+    ?commit_hook:(committed:int -> cycle:int -> unit) ->
+    Config.Machine.t ->
+    F.t ->
+    Metrics.t
+  (** Run to end-of-stream (or until [max_instructions] commit). Raises
+      [Failure] if the machine stops committing for an implausibly long
+      time (a model bug, not a workload property). [commit_hook] fires
+      after every committed instruction with the running totals — used
+      to carve per-interval statistics out of one warm run. *)
+end

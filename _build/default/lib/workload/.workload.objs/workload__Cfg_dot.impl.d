@@ -1,0 +1,1 @@
+lib/workload/cfg_dot.ml: Array Format Fun Printf Program

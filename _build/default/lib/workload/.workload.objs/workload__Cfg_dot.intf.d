@@ -1,0 +1,1 @@
+lib/workload/cfg_dot.mli: Format Program

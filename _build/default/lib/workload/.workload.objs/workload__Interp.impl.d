@@ -1,0 +1,1 @@
+lib/workload/interp.ml: Array Float Isa Prng Program

@@ -1,0 +1,1 @@
+lib/workload/interp.mli: Isa Program

@@ -1,0 +1,1 @@
+lib/workload/program.ml: Array Float Isa List Option Printf Prng Spec

@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Char Interp List Program Spec String

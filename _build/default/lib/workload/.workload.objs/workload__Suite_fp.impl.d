@@ -1,0 +1,1 @@
+lib/workload/suite_fp.ml: Char Interp List Program Spec String

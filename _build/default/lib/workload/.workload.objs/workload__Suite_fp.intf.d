@@ -1,0 +1,1 @@
+lib/workload/suite_fp.mli: Isa Program Spec

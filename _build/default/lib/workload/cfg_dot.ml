@@ -1,0 +1,44 @@
+let term_label (b : Program.block) =
+  match b.term with
+  | Program.Fallthrough _ -> ""
+  | Cond { behavior = Loop _; _ } | Cond { behavior = Loop_geo _; _ } -> "loop"
+  | Cond { behavior = Biased p; _ } -> Printf.sprintf "if %.2f" p
+  | Cond { behavior = Pattern _; _ } -> "if pat"
+  | Jump _ -> "jmp"
+  | Call _ -> "call"
+  | Ret -> "ret"
+  | Switch _ -> "switch"
+
+let emit (p : Program.t) ppf =
+  Format.fprintf ppf "digraph cfg {@.  node [shape=box, fontsize=9];@.";
+  Array.iteri
+    (fun i (b : Program.block) ->
+      Format.fprintf ppf "  b%d [label=\"b%d (%d) %s\"];@." i i
+        (Array.length b.instrs) (term_label b))
+    p.blocks;
+  Array.iteri
+    (fun i (b : Program.block) ->
+      let edge ?(style = "") dst = Format.fprintf ppf "  b%d -> b%d%s;@." i dst style in
+      match b.term with
+      | Program.Fallthrough d -> edge d
+      | Cond { taken_to; fall_to; _ } ->
+        edge taken_to ~style:" [color=blue]";
+        edge fall_to ~style:" [style=dashed]"
+      | Jump d -> edge d
+      | Call { callee; ret_to } ->
+        edge callee ~style:" [color=red, label=call]";
+        edge ret_to ~style:" [style=dotted, label=ret]"
+      | Ret -> ()
+      | Switch { targets } ->
+        Array.iter (fun d -> edge d ~style:" [color=darkgreen]") targets)
+    p.blocks;
+  Format.fprintf ppf "}@."
+
+let to_file p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      emit p ppf;
+      Format.pp_print_flush ppf ())

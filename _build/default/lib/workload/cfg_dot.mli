@@ -1,0 +1,10 @@
+(** Graphviz export of a generated program's control-flow graph, for
+    inspecting the synthetic workloads. Blocks are labeled with their
+    instruction count and terminator; loop back-edges, calls and switch
+    fans render with distinct styles. *)
+
+val emit : Program.t -> Format.formatter -> unit
+
+val to_file : Program.t -> string -> unit
+(** Write `dot` source; render with e.g.
+    [dot -Tsvg program.dot -o program.svg]. *)

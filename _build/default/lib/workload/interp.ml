@@ -1,0 +1,212 @@
+let stack_base = 0x7000_0000
+let frame_bytes = 256
+
+(* Real programs keep call depth moderate; without a bound, chains through
+   the generated call graph can exceed the RAS and make every return
+   mispredict. Calls beyond this depth are elided (emitted as jumps). *)
+let max_call_depth = 40
+
+type t = {
+  prog : Program.t;
+  rng : Prng.t;
+  mutable block : int;
+  mutable idx : int;  (* next instruction slot within the block *)
+  mutable stack : int list;  (* return-to block ids *)
+  mutable depth : int;  (* call depth, for stack-slot addresses *)
+  loop_remaining : int array;  (* per block; -1 = loop not active *)
+  pattern_pos : int array;  (* per pattern id *)
+  cursors : int array;  (* per stride cursor: byte offset within region *)
+  mutable emitted : int;
+}
+
+let create prog ~seed =
+  {
+    prog;
+    rng = Prng.create ~seed;
+    block = prog.Program.entry;
+    idx = 0;
+    stack = [];
+    depth = 0;
+    loop_remaining = Array.make (Program.n_blocks prog) (-1);
+    pattern_pos = Array.make (max 1 prog.Program.n_patterns) 0;
+    cursors = Array.make (max 1 prog.Program.n_cursors) (-1);
+    emitted = 0;
+  }
+
+let emitted t = t.emitted
+
+let region t i = t.prog.Program.regions.(i)
+
+let address t (m : Program.addr_mode) =
+  match m with
+  | Stride { region = r; cursor_id; stride } ->
+    let { Program.base; size } = region t r in
+    let off = t.cursors.(cursor_id) in
+    (* deterministic per-cursor phase so distinct arrays start offset *)
+    let off =
+      if off >= 0 then off
+      else if size <= stride then 0
+      else cursor_id * 40503 * stride mod (size / stride * stride)
+    in
+    t.cursors.(cursor_id) <- (if off + stride >= size then 0 else off + stride);
+    base + off
+  | Rand { region = r } ->
+    let { Program.base; size } = region t r in
+    base + (8 * Prng.int t.rng (max 1 (size / 8)))
+  | Stack_slot off -> stack_base - (t.depth * frame_bytes) + off
+
+let decide_cond t blk (b : Program.cond_behavior) =
+  match b with
+  | Loop { trips } ->
+    let r = t.loop_remaining.(blk) in
+    let r = if r < 0 then trips else r in
+    if r > 0 then begin
+      t.loop_remaining.(blk) <- r - 1;
+      true
+    end
+    else begin
+      t.loop_remaining.(blk) <- -1;
+      false
+    end
+  | Loop_geo { mean } ->
+    let r = t.loop_remaining.(blk) in
+    let r =
+      if r < 0 then Prng.geometric t.rng ~p:(1.0 /. Float.max 1.0 mean) else r
+    in
+    if r > 0 then begin
+      t.loop_remaining.(blk) <- r - 1;
+      true
+    end
+    else begin
+      t.loop_remaining.(blk) <- -1;
+      false
+    end
+  | Biased p -> Prng.bernoulli t.rng p
+  | Pattern { pattern; pattern_id } ->
+    let pos = t.pattern_pos.(pattern_id) in
+    t.pattern_pos.(pattern_id) <- (pos + 1) mod Array.length pattern;
+    pattern.(pos)
+
+let move t target =
+  t.block <- target;
+  t.idx <- 0
+
+let emit t (i : Isa.Dyn_inst.t) =
+  t.emitted <- t.emitted + 1;
+  Some i
+
+let rec next t =
+  let prog = t.prog in
+  let blk = prog.Program.blocks.(t.block) in
+  let nregular = Array.length blk.instrs in
+  if t.idx < nregular then begin
+    let si = blk.instrs.(t.idx) in
+    let pc = Program.pc_of_block prog t.block + (t.idx * 4) in
+    let first_in_block = t.idx = 0 in
+    t.idx <- t.idx + 1;
+    let mem_addr = match si.addr with Some m -> address t m | None -> -1 in
+    emit t
+      {
+        Isa.Dyn_inst.pc;
+        klass = si.klass;
+        dest = si.dest;
+        srcs = si.srcs;
+        mem_addr;
+        branch = None;
+        block = t.block;
+        first_in_block;
+      }
+  end
+  else begin
+    (* terminator *)
+    let pc = Program.term_pc prog t.block in
+    let cur = t.block in
+    let first_in_block = nregular = 0 in
+    let branch_inst ?(next_pc = -1) klass (kind : Isa.Dyn_inst.branch_kind)
+        ~taken ~target_blk =
+      let target = Program.pc_of_block prog target_blk in
+      {
+        Isa.Dyn_inst.pc;
+        klass;
+        dest = Isa.Reg.none;
+        srcs = blk.term_srcs;
+        mem_addr = -1;
+        branch = Some { Isa.Dyn_inst.kind; taken; target; next_pc };
+        block = cur;
+        first_in_block;
+      }
+    in
+    match blk.term with
+    | Fallthrough b ->
+      (* no branch instruction: just move and emit from the next block *)
+      move t b;
+      (* generated blocks always contain at least one instruction, but be
+         robust to degenerate programs built by hand in tests *)
+      let rec drain () =
+        let b = prog.Program.blocks.(t.block) in
+        if Array.length b.instrs = 0 then
+          match b.term with
+          | Fallthrough nxt ->
+            move t nxt;
+            drain ()
+          | _ -> ()
+      in
+      drain ();
+      next_after_move t
+    | Cond { klass; taken_to; fall_to; behavior } ->
+      let taken = decide_cond t cur behavior in
+      let target_blk = if taken then taken_to else fall_to in
+      let d = branch_inst klass Cond ~taken ~target_blk in
+      move t target_blk;
+      emit t d
+    | Jump b ->
+      let d = branch_inst Int_branch Jump ~taken:true ~target_blk:b in
+      move t b;
+      emit t d
+    | Call { callee; ret_to } ->
+      if t.depth >= max_call_depth then begin
+        let d = branch_inst Int_branch Jump ~taken:true ~target_blk:ret_to in
+        move t ret_to;
+        emit t d
+      end
+      else begin
+        let d =
+          branch_inst
+            ~next_pc:(Program.pc_of_block prog ret_to)
+            Int_branch Call ~taken:true ~target_blk:callee
+        in
+        t.stack <- ret_to :: t.stack;
+        t.depth <- t.depth + 1;
+        move t callee;
+        emit t d
+      end
+    | Ret ->
+      let target_blk =
+        match t.stack with
+        | r :: rest ->
+          t.stack <- rest;
+          t.depth <- t.depth - 1;
+          r
+        | [] -> prog.Program.entry (* program outer loop restarts *)
+      in
+      let d = branch_inst Indirect_branch Return ~taken:true ~target_blk in
+      move t target_blk;
+      emit t d
+    | Switch { targets } ->
+      (* skewed target distribution: earlier arms are hotter, giving the
+         BTB something to predict *)
+      let weights =
+        Array.init (Array.length targets) (fun i -> 1.0 /. float_of_int (i + 1))
+      in
+      let pick = Prng.choose_weighted t.rng ~weights in
+      let target_blk = targets.(pick) in
+      let d = branch_inst Indirect_branch Indirect ~taken:true ~target_blk in
+      move t target_blk;
+      emit t d
+  end
+
+and next_after_move t = next t
+
+let generator prog ~seed ~length =
+  let t = create prog ~seed in
+  fun () -> if t.emitted >= length then None else next t

@@ -1,0 +1,25 @@
+(** Deterministic interpreter turning a static {!Program.t} into a
+    dynamic instruction stream — the reference "program execution" the
+    profilers and the execution-driven simulator consume.
+
+    When the entry function returns, execution restarts at the entry
+    (the generated program models the hot outer loop of a benchmark), so
+    streams of any requested length are available. *)
+
+type t
+
+val create : Program.t -> seed:int -> t
+(** The seed drives data-dependent branch outcomes, switch targets and
+    randomized addresses; the same (program, seed) pair always produces
+    the same stream. *)
+
+val next : t -> Isa.Dyn_inst.t option
+(** Produce the next dynamic instruction, [None] only if a length bound
+    was set via {!generator}. *)
+
+val emitted : t -> int
+
+val generator :
+  Program.t -> seed:int -> length:int -> unit -> Isa.Dyn_inst.t option
+(** [generator p ~seed ~length] is a pull generator of exactly [length]
+    instructions — the shape every consumer in this repository expects. *)

@@ -1,0 +1,509 @@
+type addr_mode =
+  | Stride of { region : int; cursor_id : int; stride : int }
+  | Rand of { region : int }
+  | Stack_slot of int
+
+type sinst = {
+  klass : Isa.Iclass.t;
+  dest : int;
+  srcs : int array;
+  addr : addr_mode option;
+}
+
+type cond_behavior =
+  | Loop of { trips : int }
+  | Loop_geo of { mean : float }
+  | Biased of float
+  | Pattern of { pattern : bool array; pattern_id : int }
+
+type terminator =
+  | Fallthrough of int
+  | Cond of {
+      klass : Isa.Iclass.t;
+      taken_to : int;
+      fall_to : int;
+      behavior : cond_behavior;
+    }
+  | Jump of int
+  | Call of { callee : int; ret_to : int }
+  | Ret
+  | Switch of { targets : int array }
+
+type block = { instrs : sinst array; term : terminator; term_srcs : int array }
+
+type region = { base : int; size : int }
+
+type t = {
+  blocks : block array;
+  entry : int;
+  regions : region array;
+  block_pc : int array;
+  code_bytes : int;
+  n_cursors : int;
+  n_patterns : int;
+  spec : Spec.t;
+}
+
+let code_base = 0x0040_0000
+let data_base = 0x1000_0000
+let inst_bytes = 4
+
+(* Growable block store with reservation, needed because a loop header's
+   terminator references its body while the body references the header. *)
+module Store = struct
+  type t = { mutable slots : block option array; mutable len : int }
+
+  let dummy_needed = ()
+
+  let create () =
+    ignore dummy_needed;
+    { slots = Array.make 64 None; len = 0 }
+
+  let reserve t =
+    if t.len = Array.length t.slots then begin
+      let bigger = Array.make (2 * t.len) None in
+      Array.blit t.slots 0 bigger 0 t.len;
+      t.slots <- bigger
+    end;
+    let id = t.len in
+    t.len <- t.len + 1;
+    id
+
+  let set t id b = t.slots.(id) <- Some b
+
+  let push t b =
+    let id = reserve t in
+    set t id b;
+    id
+
+  let to_array t =
+    Array.init t.len (fun i ->
+        match t.slots.(i) with
+        | Some b -> b
+        | None -> invalid_arg "Program: unfilled reserved block")
+end
+
+type gen_state = {
+  spec : Spec.t;
+  rng : Prng.t;
+  store : Store.t;
+  mutable recent_int : int list;  (* recently written int regs, most recent first *)
+  mutable recent_fp : int list;
+  mutable cursors : int;
+  mutable patterns : int;
+  func_entries : int list ref;  (* entries of already generated functions *)
+}
+
+let take n l =
+  let rec go n l acc =
+    if n = 0 then List.rev acc
+    else match l with [] -> List.rev acc | x :: tl -> go (n - 1) tl (x :: acc)
+  in
+  go n l []
+
+(* Registers 1..6 (and the first 4 FP registers) are "stable": base
+   pointers, constants, globals. They are read often but written almost
+   never, so they do not extend dependency chains. Destinations come from
+   the remaining temporaries. *)
+let stable_int_count = 6
+let stable_fp_count = 4
+
+let fresh_int_reg g =
+  1 + stable_int_count
+  + Prng.int g.rng (Isa.Reg.int_count - 1 - stable_int_count)
+
+let fresh_fp_reg g =
+  Isa.Reg.first_fp + stable_fp_count
+  + Prng.int g.rng (Isa.Reg.fp_count - stable_fp_count)
+
+let stable_reg g ~fp =
+  if fp then Isa.Reg.first_fp + Prng.int g.rng stable_fp_count
+  else 1 + Prng.int g.rng stable_int_count
+
+let note_write g r =
+  if Isa.Reg.is_fp r then g.recent_fp <- take 16 (r :: g.recent_fp)
+  else if r <> Isa.Reg.zero then g.recent_int <- take 16 (r :: g.recent_int)
+
+let pick_src g ~fp =
+  if Prng.bernoulli g.rng g.spec.stable_src_frac then stable_reg g ~fp
+  else
+    let recent = if fp then g.recent_fp else g.recent_int in
+    if recent <> [] && Prng.bernoulli g.rng g.spec.local_dep_prob then begin
+      let k =
+        min (List.length recent - 1)
+          (Prng.geometric g.rng ~p:g.spec.dep_geo_p - 1)
+      in
+      List.nth recent k
+    end
+    else if fp then fresh_fp_reg g
+    else fresh_int_reg g
+
+let mix_weights (m : Spec.mix) =
+  [|
+    m.load; m.store; m.int_alu; m.int_mult; m.int_div; m.fp_alu; m.fp_mult;
+    m.fp_div; m.fp_sqrt;
+  |]
+
+let mix_classes : Isa.Iclass.t array =
+  [|
+    Load; Store; Int_alu; Int_mult; Int_div; Fp_alu; Fp_mult; Fp_div; Fp_sqrt;
+  |]
+
+(* Regions are laid out hot-first; selection is geometric so most memory
+   instructions reference the small hot arrays, as real programs do. *)
+let pick_region g =
+  let s = g.spec in
+  min (Prng.geometric g.rng ~p:s.region_skew - 1) (s.n_regions - 1)
+
+let gen_addr_mode g =
+  let s = g.spec in
+  let u = Prng.unit_float g.rng in
+  if u < s.stride_frac then begin
+    let cursor_id = g.cursors in
+    g.cursors <- g.cursors + 1;
+    (* vary element sizes so distinct arrays do not advance in lockstep *)
+    let stride = s.stride_bytes * (1 + Prng.int g.rng 3) in
+    Stride { region = pick_region g; cursor_id; stride }
+  end
+  else if u < s.stride_frac +. s.stack_frac then
+    Stack_slot (8 * Prng.int g.rng 32)
+  else Rand { region = pick_region g }
+
+let gen_inst g =
+  let klass = mix_classes.(Prng.choose_weighted g.rng ~weights:(mix_weights g.spec.mix)) in
+  let fp_op =
+    match klass with
+    | Fp_alu | Fp_mult | Fp_div | Fp_sqrt -> true
+    | Load | Store | Int_alu | Int_mult | Int_div | Int_branch | Fp_branch
+    | Indirect_branch ->
+      false
+  in
+  match klass with
+  | Load ->
+    if Prng.bernoulli g.rng g.spec.chase_frac then begin
+      (* pointer chase: the next address is loaded by this instruction
+         itself, so consecutive executions serialize *)
+      let dest = fresh_int_reg g in
+      { klass; dest; srcs = [| dest |]; addr = Some (Rand { region = pick_region g }) }
+    end
+    else begin
+      let dest = fresh_int_reg g in
+      let srcs = [| pick_src g ~fp:false |] in
+      note_write g dest;
+      { klass; dest; srcs; addr = Some (gen_addr_mode g) }
+    end
+  | Store ->
+    let srcs = [| pick_src g ~fp:false; pick_src g ~fp:false |] in
+    { klass; dest = Isa.Reg.none; srcs; addr = Some (gen_addr_mode g) }
+  | _ ->
+    let nsrc = 1 + Prng.int g.rng 2 in
+    let srcs = Array.init nsrc (fun _ -> pick_src g ~fp:fp_op) in
+    let dest = if fp_op then fresh_fp_reg g else fresh_int_reg g in
+    note_write g dest;
+    { klass; dest; srcs; addr = None }
+
+let gen_block_instrs ?(scale = 1.0) g =
+  let s = g.spec in
+  let mean = s.block_len_mean *. scale in
+  let raw = Prng.normal g.rng ~mean ~stddev:(s.block_len_cv *. mean) in
+  let n = max 1 (min 30 (int_of_float (Float.round raw))) in
+  Array.init n (fun _ -> gen_inst g)
+
+let fp_branch_prob (s : Spec.t) =
+  let fp_share = s.mix.fp_alu +. s.mix.fp_mult +. s.mix.fp_div +. s.mix.fp_sqrt in
+  Float.min 0.25 (fp_share *. 2.0)
+
+let gen_cond_klass g : Isa.Iclass.t =
+  if Prng.bernoulli g.rng (fp_branch_prob g.spec) then Fp_branch else Int_branch
+
+let gen_branch_srcs g ~(klass : Isa.Iclass.t) =
+  let fp = klass = Isa.Iclass.Fp_branch in
+  Array.init (1 + Prng.int g.rng 2) (fun _ -> pick_src g ~fp)
+
+(* Behaviour for a non-loop conditional branch. *)
+let gen_if_behavior g =
+  let s = g.spec in
+  let u = Prng.unit_float g.rng in
+  if u < s.biased_frac then
+    Biased (if Prng.bool g.rng then s.bias else 1.0 -. s.bias)
+  else if u < s.biased_frac +. s.pattern_frac then begin
+    let len = 2 + Prng.int g.rng 7 in
+    let pattern = Array.init len (fun _ -> Prng.bool g.rng) in
+    let pattern_id = g.patterns in
+    g.patterns <- g.patterns + 1;
+    Pattern { pattern; pattern_id }
+  end
+  else Biased s.random_taken
+
+let gen_loop_behavior g =
+  let s = g.spec in
+  if s.loop_trip_geometric then Loop_geo { mean = s.loop_trip_mean }
+  else
+    (* fixed per-branch trip count drawn around the mean *)
+    let trips =
+      max 1
+        (int_of_float
+           (Float.round
+              (Prng.normal g.rng ~mean:s.loop_trip_mean
+                 ~stddev:(0.4 *. s.loop_trip_mean))))
+    in
+    Loop { trips }
+
+type struct_kind = Basic | If | If_else | Loop_s | Call_s | Switch_s
+
+let pick_struct g ~depth ~can_call =
+  let s = g.spec in
+  let weights =
+    [|
+      s.basic_w;
+      (if depth > 1 then s.if_w else 0.0);
+      (if depth > 1 then s.ifelse_w else 0.0);
+      (if depth > 1 then s.loop_w else 0.0);
+      (if can_call then s.call_w else 0.0);
+      (if depth > 1 then s.switch_w else 0.0);
+    |]
+  in
+  match Prng.choose_weighted g.rng ~weights with
+  | 0 -> Basic
+  | 1 -> If
+  | 2 -> If_else
+  | 3 -> Loop_s
+  | 4 -> Call_s
+  | 5 -> Switch_s
+  | _ -> assert false
+
+(* Generate a sequence of [n] control structures that eventually flows to
+   [next]; returns the entry block id. Blocks are produced in reverse
+   control-flow order so forward targets always exist; loops reserve
+   their header id before generating the body. *)
+let rec gen_seq g ~depth ~n ~next =
+  if n = 0 then next
+  else
+    let rest = gen_seq g ~depth ~n:(n - 1) ~next in
+    gen_struct g ~depth ~next:rest
+
+and gen_struct g ~depth ~next =
+  let can_call = !(g.func_entries) <> [] in
+  match pick_struct g ~depth ~can_call with
+  | Basic ->
+    Store.push g.store
+      { instrs = gen_block_instrs g; term = Fallthrough next; term_srcs = [||] }
+  | If ->
+    let arm = gen_seq g ~depth:(depth - 1) ~n:(1 + Prng.int g.rng 2) ~next in
+    let klass = gen_cond_klass g in
+    Store.push g.store
+      {
+        instrs = gen_block_instrs g;
+        term =
+          Cond { klass; taken_to = arm; fall_to = next; behavior = gen_if_behavior g };
+        term_srcs = gen_branch_srcs g ~klass;
+      }
+  | If_else ->
+    let then_arm = gen_seq g ~depth:(depth - 1) ~n:(1 + Prng.int g.rng 2) ~next in
+    let else_arm = gen_seq g ~depth:(depth - 1) ~n:(1 + Prng.int g.rng 2) ~next in
+    let klass = gen_cond_klass g in
+    Store.push g.store
+      {
+        instrs = gen_block_instrs g;
+        term =
+          Cond
+            {
+              klass;
+              taken_to = then_arm;
+              fall_to = else_arm;
+              behavior = gen_if_behavior g;
+            };
+        term_srcs = gen_branch_srcs g ~klass;
+      }
+  | Loop_s ->
+    (* header tests the condition; taken -> body, fall -> next; the body
+       flows back to the header *)
+    let header = Store.reserve g.store in
+    let body = gen_seq g ~depth:(depth - 1) ~n:(1 + Prng.int g.rng 2) ~next:header in
+    let klass = gen_cond_klass g in
+    Store.set g.store header
+      {
+        instrs = gen_block_instrs ~scale:0.6 g;
+        term =
+          Cond
+            { klass; taken_to = body; fall_to = next; behavior = gen_loop_behavior g };
+        term_srcs = gen_branch_srcs g ~klass;
+      };
+    header
+  | Call_s ->
+    let callees = !(g.func_entries) in
+    let callee = List.nth callees (Prng.int g.rng (List.length callees)) in
+    Store.push g.store
+      {
+        instrs = gen_block_instrs g;
+        term = Call { callee; ret_to = next };
+        term_srcs = [||];
+      }
+  | Switch_s ->
+    let fanout = g.spec.switch_fanout in
+    let targets =
+      Array.init fanout (fun _ ->
+          gen_seq g ~depth:(depth - 1) ~n:(1 + Prng.int g.rng 2) ~next)
+    in
+    Store.push g.store
+      {
+        instrs = gen_block_instrs g;
+        term = Switch { targets };
+        term_srcs = [| pick_src g ~fp:false |];
+      }
+
+let gen_function g =
+  let ret =
+    Store.push g.store
+      {
+        instrs = gen_block_instrs ~scale:0.5 g;
+        term = Ret;
+        term_srcs = [||];
+      }
+  in
+  let entry = gen_seq g ~depth:g.spec.max_depth ~n:g.spec.func_structs ~next:ret in
+  g.func_entries := entry :: !(g.func_entries);
+  entry
+
+let gen_regions spec rng =
+  (* Half the regions are small and hot; the rest split the remaining
+     footprint, giving a realistic mix of near-perfect and capacity-bound
+     cache behaviour. *)
+  let n = spec.Spec.n_regions in
+  let hot = max 1 (n / 2) in
+  let hot_size = 2048 + (1024 * Prng.int rng 4) in
+  let hot_total = hot * hot_size in
+  let cold = n - hot in
+  let cold_size =
+    if cold = 0 then 0 else max 4096 ((spec.data_footprint - hot_total) / cold)
+  in
+  let sizes =
+    Array.init n (fun i -> if i < hot then hot_size else cold_size)
+  in
+  let base = ref data_base in
+  Array.map
+    (fun size ->
+      let r = { base = !base; size } in
+      (* 4KB-align region starts so TLB pages are not shared *)
+      base := !base + ((size + 4095) / 4096 * 4096);
+      r)
+    sizes
+
+let term_emits_branch = function
+  | Fallthrough _ -> false
+  | Cond _ | Jump _ | Call _ | Ret | Switch _ -> true
+
+let generate spec ~seed =
+  (match Spec.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Program.generate: " ^ msg));
+  let rng = Prng.create ~seed in
+  let g =
+    {
+      spec;
+      rng;
+      store = Store.create ();
+      recent_int = [];
+      recent_fp = [];
+      cursors = 0;
+      patterns = 0;
+      func_entries = ref [];
+    }
+  in
+  for _ = 1 to spec.n_funcs do
+    ignore (gen_function g)
+  done;
+  (* Driver ("main loop"): calls a broad sample of the generated functions
+     in sequence so dynamic execution covers most of the code, the way a
+     benchmark's outer loop exercises its phases. *)
+  let entry =
+    let funcs = Array.of_list !(g.func_entries) in
+    Prng.shuffle rng funcs;
+    let n_calls = min (Array.length funcs) 32 in
+    let ret =
+      Store.push g.store
+        { instrs = gen_block_instrs ~scale:0.5 g; term = Ret; term_srcs = [||] }
+    in
+    let next = ref ret in
+    for i = n_calls - 1 downto 0 do
+      next :=
+        Store.push g.store
+          {
+            instrs = gen_block_instrs ~scale:0.5 g;
+            term = Call { callee = funcs.(i); ret_to = !next };
+            term_srcs = [||];
+          }
+    done;
+    ref !next
+  in
+  let blocks = Store.to_array g.store in
+  let block_pc = Array.make (Array.length blocks) 0 in
+  let pc = ref code_base in
+  Array.iteri
+    (fun i b ->
+      block_pc.(i) <- !pc;
+      let slots =
+        Array.length b.instrs + if term_emits_branch b.term then 1 else 0
+      in
+      pc := !pc + (slots * inst_bytes))
+    blocks;
+  {
+    blocks;
+    entry = !entry;
+    regions = gen_regions spec rng;
+    block_pc;
+    code_bytes = !pc - code_base;
+    n_cursors = g.cursors;
+    n_patterns = g.patterns;
+    spec;
+  }
+
+let n_blocks t = Array.length t.blocks
+let pc_of_block t b = t.block_pc.(b)
+let term_pc t b = t.block_pc.(b) + (Array.length t.blocks.(b).instrs * inst_bytes)
+
+let validate t =
+  let n = n_blocks t in
+  let ok = ref (Ok ()) in
+  let check cond msg = if not cond && !ok = Ok () then ok := Error msg in
+  check (t.entry >= 0 && t.entry < n) "entry out of range";
+  Array.iteri
+    (fun i b ->
+      let target_ok x = x >= 0 && x < n in
+      (match b.term with
+      | Fallthrough x | Jump x ->
+        check (target_ok x) (Printf.sprintf "block %d: bad target" i)
+      | Cond { taken_to; fall_to; _ } ->
+        check (target_ok taken_to && target_ok fall_to)
+          (Printf.sprintf "block %d: bad cond targets" i)
+      | Call { callee; ret_to } ->
+        check (target_ok callee && target_ok ret_to)
+          (Printf.sprintf "block %d: bad call targets" i)
+      | Ret -> ()
+      | Switch { targets } ->
+        check
+          (Array.length targets > 0 && Array.for_all target_ok targets)
+          (Printf.sprintf "block %d: bad switch targets" i));
+      Array.iter
+        (fun si ->
+          (match si.addr with
+          | Some (Stride { region; cursor_id; stride = _ }) ->
+            check
+              (region < Array.length t.regions
+              && cursor_id >= 0 && cursor_id < t.n_cursors)
+              "bad stride addressing";
+          | Some (Rand { region }) ->
+            check (region < Array.length t.regions) "bad region"
+          | Some (Stack_slot _) | None -> ());
+          check
+            (Isa.Iclass.is_mem si.klass = Option.is_some si.addr)
+            "addr mode iff memory class")
+        b.instrs)
+    t.blocks;
+  !ok
+
+let stats (t : t) =
+  Printf.sprintf "%s: %d blocks, %d KB code, %d regions, entry=%d" t.spec.name
+    (n_blocks t) (t.code_bytes / 1024)
+    (Array.length t.regions)
+    t.entry

@@ -1,0 +1,78 @@
+(** Static synthetic program: an array of basic blocks with structured
+    control flow (sequences, if/if-else diamonds, counted loops, calls,
+    indirect switches), generated deterministically from a {!Spec.t} and
+    a seed.
+
+    PCs are byte addresses with 4-byte instructions, so instruction-cache
+    behaviour scales like a real RISC binary. Data regions model the heap
+    arrays that loads/stores walk. *)
+
+type addr_mode =
+  | Stride of { region : int; cursor_id : int; stride : int }
+      (** sequential walk of a region, one element per execution; strides
+          differ per static instruction so arrays advance out of phase *)
+  | Rand of { region : int }  (** uniform within a region *)
+  | Stack_slot of int  (** frame-relative local *)
+
+type sinst = {
+  klass : Isa.Iclass.t;
+  dest : int;
+  srcs : int array;
+  addr : addr_mode option;
+}
+
+type cond_behavior =
+  | Loop of { trips : int }  (** taken [trips] times per loop entry *)
+  | Loop_geo of { mean : float }  (** geometric trip count per entry *)
+  | Biased of float  (** taken with fixed probability *)
+  | Pattern of { pattern : bool array; pattern_id : int }
+
+type terminator =
+  | Fallthrough of int
+  | Cond of {
+      klass : Isa.Iclass.t;  (** [Int_branch] or [Fp_branch] *)
+      taken_to : int;
+      fall_to : int;
+      behavior : cond_behavior;
+    }
+  | Jump of int
+  | Call of { callee : int; ret_to : int }
+  | Ret
+  | Switch of { targets : int array }
+
+type block = {
+  instrs : sinst array;
+  term : terminator;
+  term_srcs : int array;  (** source registers of the terminating branch *)
+}
+
+type region = { base : int; size : int }
+
+type t = {
+  blocks : block array;
+  entry : int;
+  regions : region array;
+  block_pc : int array;  (** starting PC of each block *)
+  code_bytes : int;
+  n_cursors : int;  (** number of stride cursors *)
+  n_patterns : int;  (** number of pattern branches *)
+  spec : Spec.t;
+}
+
+val generate : Spec.t -> seed:int -> t
+(** Deterministic: equal spec and seed give equal programs. *)
+
+val n_blocks : t -> int
+
+val pc_of_block : t -> int -> int
+
+val term_pc : t -> int -> int
+(** PC of the terminating branch instruction of a block (one slot past
+    its last regular instruction). *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: all control-flow targets in range, entry valid,
+    every block non-empty or branch-terminated, cursor/pattern ids dense. *)
+
+val stats : t -> string
+(** One-line human summary (blocks, code size, regions). *)

@@ -1,0 +1,125 @@
+type mix = {
+  load : float;
+  store : float;
+  int_alu : float;
+  int_mult : float;
+  int_div : float;
+  fp_alu : float;
+  fp_mult : float;
+  fp_div : float;
+  fp_sqrt : float;
+}
+
+type t = {
+  name : string;
+  n_funcs : int;
+  func_structs : int;
+  max_depth : int;
+  block_len_mean : float;
+  block_len_cv : float;
+  mix : mix;
+  basic_w : float;
+  if_w : float;
+  ifelse_w : float;
+  loop_w : float;
+  call_w : float;
+  switch_w : float;
+  loop_trip_mean : float;
+  loop_trip_geometric : bool;
+  biased_frac : float;
+  pattern_frac : float;
+  bias : float;
+  random_taken : float;
+  switch_fanout : int;
+  stable_src_frac : float;
+  local_dep_prob : float;
+  dep_geo_p : float;
+  n_regions : int;
+  region_skew : float;
+  data_footprint : int;
+  chase_frac : float;
+  stride_frac : float;
+  stack_frac : float;
+  stride_bytes : int;
+}
+
+let default =
+  {
+    name = "default";
+    n_funcs = 20;
+    func_structs = 8;
+    max_depth = 3;
+    block_len_mean = 5.0;
+    block_len_cv = 0.6;
+    mix =
+      {
+        load = 0.30;
+        store = 0.14;
+        int_alu = 0.50;
+        int_mult = 0.03;
+        int_div = 0.005;
+        fp_alu = 0.02;
+        fp_mult = 0.004;
+        fp_div = 0.001;
+        fp_sqrt = 0.0;
+      };
+    basic_w = 0.30;
+    if_w = 0.20;
+    ifelse_w = 0.15;
+    loop_w = 0.20;
+    call_w = 0.12;
+    switch_w = 0.03;
+    loop_trip_mean = 12.0;
+    loop_trip_geometric = false;
+    biased_frac = 0.5;
+    pattern_frac = 0.2;
+    bias = 0.9;
+    random_taken = 0.5;
+    switch_fanout = 4;
+    stable_src_frac = 0.35;
+    local_dep_prob = 0.45;
+    dep_geo_p = 0.5;
+    n_regions = 8;
+    region_skew = 0.55;
+    data_footprint = 256 * 1024;
+    chase_frac = 0.05;
+    stride_frac = 0.5;
+    stack_frac = 0.2;
+    stride_bytes = 8;
+  }
+
+let in_unit x = x >= 0.0 && x <= 1.0
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.n_funcs >= 1) "n_funcs must be >= 1" in
+  let* () = check (t.func_structs >= 1) "func_structs must be >= 1" in
+  let* () = check (t.max_depth >= 1) "max_depth must be >= 1" in
+  let* () = check (t.block_len_mean >= 1.0) "block_len_mean must be >= 1" in
+  let* () =
+    check
+      (in_unit t.biased_frac && in_unit t.pattern_frac
+      && t.biased_frac +. t.pattern_frac <= 1.0)
+      "biased_frac + pattern_frac must be <= 1"
+  in
+  let* () = check (in_unit t.bias && in_unit t.random_taken) "bias in [0,1]" in
+  let* () =
+    check
+      (in_unit t.stride_frac && in_unit t.stack_frac
+      && t.stride_frac +. t.stack_frac <= 1.0)
+      "stride_frac + stack_frac must be <= 1"
+  in
+  let* () = check (in_unit t.local_dep_prob) "local_dep_prob in [0,1]" in
+  let* () = check (in_unit t.stable_src_frac) "stable_src_frac in [0,1]" in
+  let* () = check (in_unit t.chase_frac) "chase_frac in [0,1]" in
+  let* () =
+    check (t.dep_geo_p > 0.0 && t.dep_geo_p <= 1.0) "dep_geo_p in (0,1]"
+  in
+  let* () = check (t.n_regions >= 1) "n_regions must be >= 1" in
+  let* () =
+    check (t.region_skew > 0.0 && t.region_skew <= 1.0) "region_skew in (0,1]"
+  in
+  let* () = check (t.data_footprint >= 64) "data_footprint too small" in
+  let* () = check (t.switch_fanout >= 2) "switch_fanout must be >= 2" in
+  check (t.loop_trip_mean >= 1.0) "loop_trip_mean must be >= 1"

@@ -1,0 +1,73 @@
+(** Parameter set describing a synthetic benchmark program.
+
+    The repository substitutes SPEC CINT2000 Alpha binaries (which we do
+    not have) with generated programs whose *profile-visible*
+    characteristics — control-flow structure, branch predictability,
+    instruction mix, dependency locality, memory footprint — are
+    controlled by these parameters. See DESIGN.md Section 2. *)
+
+type mix = {
+  load : float;
+  store : float;
+  int_alu : float;
+  int_mult : float;
+  int_div : float;
+  fp_alu : float;
+  fp_mult : float;
+  fp_div : float;
+  fp_sqrt : float;
+}
+(** Relative weights of non-branch instruction classes; branches are
+    created by the control-flow structure itself. *)
+
+type t = {
+  name : string;
+  n_funcs : int;  (** number of generated functions *)
+  func_structs : int;  (** control structures per function body *)
+  max_depth : int;  (** maximum nesting of structures *)
+  block_len_mean : float;  (** instructions per basic block (non-branch) *)
+  block_len_cv : float;  (** coefficient of variation of block length *)
+  mix : mix;
+  (* relative weights of control structures: *)
+  basic_w : float;
+  if_w : float;
+  ifelse_w : float;
+  loop_w : float;
+  call_w : float;
+  switch_w : float;
+  loop_trip_mean : float;  (** mean iterations per loop entry *)
+  loop_trip_geometric : bool;
+      (** sample trips geometrically per entry (harder to predict) instead
+          of a fixed count (perfectly predictable after warmup) *)
+  biased_frac : float;  (** among if-branches: strongly biased fraction *)
+  pattern_frac : float;  (** ... fraction following a short repeating pattern *)
+  bias : float;  (** taken probability of biased branches *)
+  random_taken : float;  (** taken probability of the remaining (random) branches *)
+  switch_fanout : int;  (** targets per indirect switch *)
+  stable_src_frac : float;
+      (** prob. a source reads a long-lived "stable" register (base
+          pointers, constants) — these rarely participate in dependency
+          chains, keeping dataflow ILP realistic *)
+  local_dep_prob : float;  (** prob. a source register is a recently written one *)
+  dep_geo_p : float;  (** recency decay of local dependencies *)
+  n_regions : int;  (** distinct data regions (arrays) *)
+  region_skew : float;
+      (** geometric parameter of hot-region selection: higher means more
+          accesses concentrate on the small hot regions *)
+  data_footprint : int;  (** total bytes of heap data touched *)
+  chase_frac : float;
+      (** fraction of loads that pointer-chase: each execution's address
+          depends on the previous load's result, serializing the memory
+          chain like linked-structure traversal *)
+  stride_frac : float;  (** memory ops walking an array sequentially *)
+  stack_frac : float;  (** memory ops hitting the stack frame *)
+  stride_bytes : int;
+}
+
+val default : t
+(** A mid-of-the-road integer workload; named specs in {!Suite} derive
+    from it. *)
+
+val validate : t -> (unit, string) result
+(** Check ranges (probabilities in [0,1], positive sizes, fractions that
+    must sum below 1). *)

@@ -1,0 +1,1 @@
+test/test_analytical.ml: Alcotest Analytical Config List Stats Statsim Workload

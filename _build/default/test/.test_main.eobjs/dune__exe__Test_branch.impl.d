@@ -1,0 +1,1 @@
+test/test_branch.ml: Alcotest Array Branch Config Gen Isa List Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Config Gen List QCheck QCheck_alcotest

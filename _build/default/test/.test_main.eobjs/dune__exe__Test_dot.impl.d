@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Buffer Config Format Profile Statsim String Workload

@@ -1,0 +1,1 @@
+test/test_eds_feed.ml: Alcotest Array Branch Config Isa List Option Uarch

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Config Float Hls Isa List Profile Stats Synth Uarch Workload

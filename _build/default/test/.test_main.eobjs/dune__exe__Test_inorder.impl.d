@@ -1,0 +1,1 @@
+test/test_inorder.ml: Alcotest Array Config Isa List Profile Simpoint Stats Statsim Synth Uarch Workload

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Branch Cache Config Float Format Hashtbl Isa List Option Prng Result Stats String Synth Uarch Workload

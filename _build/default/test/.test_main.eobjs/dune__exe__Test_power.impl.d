@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Config List Power

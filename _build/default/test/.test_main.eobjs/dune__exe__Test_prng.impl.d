@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float List Prng QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Config Float Hashtbl Isa List Profile Stats Workload

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Config Filename Fun Hashtbl Profile Stats Statsim Sys Workload

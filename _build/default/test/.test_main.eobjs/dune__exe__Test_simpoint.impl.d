@@ -1,0 +1,1 @@
+test/test_simpoint.ml: Alcotest Array Config Float Lazy List Prng Simpoint Stats Uarch Workload

@@ -1,0 +1,1 @@
+test/test_statsim.ml: Alcotest Config List Stats Statsim Uarch Workload

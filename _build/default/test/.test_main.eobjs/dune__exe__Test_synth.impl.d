@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Config Float Hashtbl Isa List Option Power Profile Statsim Synth Uarch Workload

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Array Config Isa List Synth Uarch Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Config Float Format Isa List QCheck QCheck_alcotest Result Uarch Workload

@@ -1,0 +1,80 @@
+(* First-order analytical model tests. *)
+
+let check = Alcotest.(check bool)
+
+let cfg = Config.Machine.baseline
+
+let profile_of name =
+  Statsim.profile cfg
+    (Workload.Suite.stream (Workload.Suite.find name) ~length:40_000)
+
+let test_breakdown_consistent () =
+  let b = Analytical.predict cfg (profile_of "gcc") in
+  Alcotest.(check (float 1e-9)) "components sum"
+    (b.base_cpi +. b.branch_cpi +. b.imem_cpi +. b.dmem_cpi)
+    b.total_cpi;
+  check "all non-negative" true
+    (b.base_cpi >= 0.0 && b.branch_cpi >= 0.0 && b.imem_cpi >= 0.0
+   && b.dmem_cpi >= 0.0);
+  check "base at least width bound" true
+    (b.base_cpi >= 1.0 /. float_of_int cfg.issue_width)
+
+let test_ipc_plausible () =
+  List.iter
+    (fun name ->
+      let ipc = Analytical.ipc cfg (profile_of name) in
+      check (name ^ " plausible") true (ipc > 0.02 && ipc <= 8.0))
+    [ "gzip"; "twolf"; "vortex" ]
+
+let test_monotone_in_width () =
+  (* predictions must not get slower when the machine widens *)
+  let p = profile_of "gzip" in
+  let narrow = Analytical.ipc (Config.Machine.with_width cfg 2) p in
+  let wide = Analytical.ipc (Config.Machine.with_width cfg 8) p in
+  check "wider >= narrower" true (wide >= narrow)
+
+let test_memory_profile_hurts () =
+  (* a memory-bound profile must predict lower IPC than a clean one *)
+  let clean =
+    Statsim.profile ~perfect_caches:true cfg
+      (Workload.Suite.stream (Workload.Suite.find "twolf") ~length:40_000)
+  in
+  let real = profile_of "twolf" in
+  check "misses cost" true (Analytical.ipc cfg real < Analytical.ipc cfg clean)
+
+let test_empty_profile_rejected () =
+  let empty =
+    Statsim.profile cfg (fun () -> None)
+  in
+  check "raises" true
+    (try
+       ignore (Analytical.ipc cfg empty);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cruder_than_statistical_simulation () =
+  (* the point of the baseline: on a chase-heavy workload, the global
+     analytical model errs much more than the SFG-based flow *)
+  let spec = Workload.Suite.find "vpr" in
+  let stream () = Workload.Suite.stream spec ~length:60_000 in
+  let eds = Statsim.reference cfg (stream ()) in
+  let p = Statsim.profile cfg (stream ()) in
+  let err v =
+    Stats.Summary.absolute_error ~reference:eds.Statsim.ipc ~predicted:v
+  in
+  let analytical_err = err (Analytical.ipc cfg p) in
+  let sfg_err =
+    err (Statsim.run_profile ~target_length:15_000 cfg p ~seed:4).Statsim.ipc
+  in
+  check "SFG beats analytical here" true (sfg_err < analytical_err)
+
+let suite =
+  [
+    Alcotest.test_case "breakdown consistent" `Quick test_breakdown_consistent;
+    Alcotest.test_case "ipc plausible" `Quick test_ipc_plausible;
+    Alcotest.test_case "monotone in width" `Quick test_monotone_in_width;
+    Alcotest.test_case "memory hurts" `Quick test_memory_profile_hurts;
+    Alcotest.test_case "empty profile rejected" `Quick test_empty_profile_rejected;
+    Alcotest.test_case "cruder than statsim" `Quick
+      test_cruder_than_statistical_simulation;
+  ]

@@ -1,0 +1,65 @@
+(* Machine configuration tests. *)
+
+let check = Alcotest.(check bool)
+
+let b = Config.Machine.baseline
+
+let test_baseline_is_table2 () =
+  Alcotest.(check int) "I$ 8KB" (8 * 1024) b.icache.size_bytes;
+  Alcotest.(check int) "I$ 2-way" 2 b.icache.assoc;
+  Alcotest.(check int) "D$ 16KB" (16 * 1024) b.dcache.size_bytes;
+  Alcotest.(check int) "D$ 4-way" 4 b.dcache.assoc;
+  Alcotest.(check int) "L2 1MB" (1024 * 1024) b.l2.size_bytes;
+  Alcotest.(check int) "L2 20cy" 20 b.l2.hit_latency;
+  Alcotest.(check int) "mem 150cy" 150 b.mem_latency;
+  Alcotest.(check int) "IFQ 32" 32 b.ifq_size;
+  Alcotest.(check int) "RUU 128" 128 b.ruu_size;
+  Alcotest.(check int) "LSQ 32" 32 b.lsq_size;
+  Alcotest.(check int) "8-wide" 8 b.decode_width;
+  Alcotest.(check int) "fetch speed 2" 2 b.fetch_speed;
+  Alcotest.(check int) "8K bimodal" 8192 b.bpred.bimodal_entries;
+  Alcotest.(check int) "BTB 512 entries" 512 (b.bpred.btb_sets * b.bpred.btb_assoc);
+  Alcotest.(check int) "RAS 64" 64 b.bpred.ras_entries;
+  Alcotest.(check int) "8 int ALUs" 8 b.fu.int_alu;
+  Alcotest.(check int) "4 mem ports" 4 b.fu.mem_ports
+
+let test_op_latencies () =
+  Array.iter
+    (fun c -> check "positive latency" true (Config.Machine.op_latency c > 0))
+    Isa.Iclass.all;
+  check "div slower than alu" true
+    (Config.Machine.op_latency Int_div > Config.Machine.op_latency Int_alu);
+  check "fp sqrt slowest fp" true
+    (Config.Machine.op_latency Fp_sqrt > Config.Machine.op_latency Fp_mult)
+
+let test_fu_counts () =
+  Array.iter
+    (fun c -> check "has units" true (Config.Machine.fu_count b c > 0))
+    Isa.Iclass.all
+
+let test_scaling () =
+  let half = Config.Machine.scale_caches b 0.5 in
+  Alcotest.(check int) "halved D$" (8 * 1024) half.dcache.size_bytes;
+  let dbl = Config.Machine.scale_bpred b 2.0 in
+  Alcotest.(check int) "doubled bimodal" 16384 dbl.bpred.bimodal_entries;
+  let w = Config.Machine.with_width b 4 in
+  check "widths tied" true
+    (w.decode_width = 4 && w.issue_width = 4 && w.commit_width = 4);
+  let win = Config.Machine.with_window b ~ruu:64 ~lsq:16 in
+  check "window set" true (win.ruu_size = 64 && win.lsq_size = 16);
+  let ifq = Config.Machine.with_ifq b 8 in
+  Alcotest.(check int) "ifq set" 8 ifq.ifq_size
+
+let test_hls_baseline_smaller () =
+  let h = Config.Machine.hls_baseline in
+  check "narrower" true (h.decode_width < b.decode_width);
+  check "smaller window" true (h.ruu_size < b.ruu_size)
+
+let suite =
+  [
+    Alcotest.test_case "baseline matches Table 2" `Quick test_baseline_is_table2;
+    Alcotest.test_case "op latencies" `Quick test_op_latencies;
+    Alcotest.test_case "fu counts" `Quick test_fu_counts;
+    Alcotest.test_case "scaling helpers" `Quick test_scaling;
+    Alcotest.test_case "hls baseline" `Quick test_hls_baseline_smaller;
+  ]

@@ -1,0 +1,59 @@
+(* Graphviz exporters: structural sanity of the emitted dot sources. *)
+
+let check = Alcotest.(check bool)
+
+let render emit =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  emit ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let count_substring hay needle =
+  let n = String.length needle in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else if String.sub hay i n = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_cfg_dot () =
+  let spec = Workload.Suite.find "vpr" in
+  let prog = Workload.Suite.program spec in
+  let s = render (Workload.Cfg_dot.emit prog) in
+  check "digraph header" true (count_substring s "digraph cfg" = 1);
+  check "closing brace" true (String.length s > 0 && count_substring s "}" >= 1);
+  (* one node line per block *)
+  Alcotest.(check int) "node count"
+    (Workload.Program.n_blocks prog)
+    (count_substring s "[label=\"b");
+  check "has edges" true (count_substring s "->" > 0)
+
+let test_sfg_dot () =
+  let spec = Workload.Suite.find "vpr" in
+  let p =
+    Statsim.profile Config.Machine.baseline
+      (Workload.Suite.stream spec ~length:10_000)
+  in
+  let s = render (Profile.Sfg_dot.emit p) in
+  check "digraph header" true (count_substring s "digraph sfg" = 1);
+  check "mentions k" true (count_substring s "SFG k=1" = 1);
+  check "transition labels" true (count_substring s "%\"" > 0)
+
+let test_sfg_dot_max_nodes () =
+  let spec = Workload.Suite.find "gcc" in
+  let p =
+    Statsim.profile Config.Machine.baseline
+      (Workload.Suite.stream spec ~length:20_000)
+  in
+  let s = render (Profile.Sfg_dot.emit ~max_nodes:10 p) in
+  (* 10 node declarations at most (each node line contains "[label=") *)
+  check "elides nodes" true (count_substring s "[label=\"b" <= 10)
+
+let suite =
+  [
+    Alcotest.test_case "cfg dot" `Quick test_cfg_dot;
+    Alcotest.test_case "sfg dot" `Quick test_sfg_dot;
+    Alcotest.test_case "sfg dot max nodes" `Quick test_sfg_dot_max_nodes;
+  ]

@@ -1,0 +1,264 @@
+(* Focused interpreter-behaviour tests: loop trip counts, branch
+   patterns, switches, the call-depth cap and address streams. *)
+
+let check = Alcotest.(check bool)
+
+(* build tiny programs by hand *)
+let alu ?(dest = 9) ?(srcs = [||]) () =
+  { Workload.Program.klass = Isa.Iclass.Int_alu; dest; srcs; addr = None }
+
+let block instrs term = { Workload.Program.instrs; term; term_srcs = [| 7 |] }
+
+let mk_program ?(n_cursors = 0) ?(n_patterns = 0) blocks entry =
+  let blocks = Array.of_list blocks in
+  let block_pc = Array.make (Array.length blocks) 0 in
+  let pc = ref 0x400000 in
+  Array.iteri
+    (fun i (b : Workload.Program.block) ->
+      block_pc.(i) <- !pc;
+      let emits =
+        match b.term with Workload.Program.Fallthrough _ -> 0 | _ -> 1
+      in
+      pc := !pc + (4 * (Array.length b.instrs + emits)))
+    blocks;
+  {
+    Workload.Program.blocks;
+    entry;
+    regions = [| { Workload.Program.base = 0x1000_0000; size = 4096 } |];
+    block_pc;
+    code_bytes = !pc - 0x400000;
+    n_cursors;
+    n_patterns;
+    spec = Workload.Spec.default;
+  }
+
+let drain gen =
+  let out = ref [] in
+  let rec go () =
+    match gen () with
+    | None -> List.rev !out
+    | Some i ->
+      out := i :: !out;
+      go ()
+  in
+  go ()
+
+let test_fixed_loop_trips () =
+  (* block 0: loop header, taken 3 times then falls to block 1 (ret) *)
+  let prog =
+    mk_program
+      [
+        block [| alu () |]
+          (Workload.Program.Cond
+             {
+               klass = Isa.Iclass.Int_branch;
+               taken_to = 0;
+               fall_to = 1;
+               behavior = Workload.Program.Loop { trips = 3 };
+             });
+        block [| alu () |] Workload.Program.Ret;
+      ]
+      0
+  in
+  let insts = drain (Workload.Interp.generator prog ~seed:1 ~length:40) in
+  (* pattern per program iteration: (alu, br-taken) x3, (alu, br-fall), ret block *)
+  let branches =
+    List.filter_map (fun (i : Isa.Dyn_inst.t) -> i.branch) insts
+  in
+  let loop_branches =
+    List.filter (fun (b : Isa.Dyn_inst.branch) -> b.kind = Cond) branches
+  in
+  (* check taken pattern: 3 taken then 1 not-taken, repeated *)
+  List.iteri
+    (fun i (b : Isa.Dyn_inst.branch) ->
+      let expect = i mod 4 < 3 in
+      if b.taken <> expect then
+        Alcotest.failf "loop exec %d: expected taken=%b" i expect)
+    loop_branches;
+  check "saw loop branches" true (List.length loop_branches >= 8)
+
+let test_pattern_branch () =
+  let pattern = [| true; false; false |] in
+  let prog =
+    mk_program ~n_patterns:1
+      [
+        block [| alu () |]
+          (Workload.Program.Cond
+             {
+               klass = Isa.Iclass.Int_branch;
+               taken_to = 1;
+               fall_to = 1;
+               behavior = Workload.Program.Pattern { pattern; pattern_id = 0 };
+             });
+        block [| alu () |] (Workload.Program.Jump 0);
+      ]
+      0
+  in
+  let insts = drain (Workload.Interp.generator prog ~seed:2 ~length:60) in
+  let conds =
+    List.filter_map
+      (fun (i : Isa.Dyn_inst.t) ->
+        match i.branch with
+        | Some b when b.kind = Cond -> Some b.taken
+        | _ -> None)
+      insts
+  in
+  List.iteri
+    (fun i taken ->
+      if taken <> pattern.(i mod 3) then Alcotest.failf "pattern exec %d" i)
+    conds;
+  check "saw pattern branches" true (List.length conds >= 10)
+
+let test_switch_targets_valid_and_skewed () =
+  let prog =
+    mk_program
+      [
+        block [| alu () |] (Workload.Program.Switch { targets = [| 1; 2 |] });
+        block [| alu () |] (Workload.Program.Jump 0);
+        block [| alu () |] (Workload.Program.Jump 0);
+      ]
+      0
+  in
+  let insts = drain (Workload.Interp.generator prog ~seed:3 ~length:3000) in
+  let to1 = ref 0 and to2 = ref 0 in
+  List.iter
+    (fun (i : Isa.Dyn_inst.t) ->
+      match i.branch with
+      | Some { kind = Indirect; target; _ } ->
+        if target = prog.block_pc.(1) then incr to1
+        else if target = prog.block_pc.(2) then incr to2
+        else Alcotest.fail "switch to unknown target"
+      | _ -> ())
+    insts;
+  check "first arm hotter (1/i weighting)" true (!to1 > !to2);
+  check "both arms taken" true (!to2 > 0)
+
+let test_call_depth_capped () =
+  (* deep self-recursion through a chain would overflow the RAS; the
+     interpreter elides calls beyond its depth cap *)
+  let spec =
+    { Workload.Spec.default with n_funcs = 60; func_structs = 3; call_w = 0.9;
+      basic_w = 0.05; loop_w = 0.0; if_w = 0.0; ifelse_w = 0.0; switch_w = 0.0 }
+  in
+  let prog = Workload.Program.generate spec ~seed:11 in
+  let gen = Workload.Interp.generator prog ~seed:4 ~length:50_000 in
+  let depth = ref 0 and maxd = ref 0 in
+  let rec go () =
+    match gen () with
+    | None -> ()
+    | Some (i : Isa.Dyn_inst.t) ->
+      (match i.branch with
+      | Some { kind = Call; _ } ->
+        incr depth;
+        if !depth > !maxd then maxd := !depth
+      | Some { kind = Return; _ } -> depth := max 0 (!depth - 1)
+      | _ -> ());
+      go ()
+  in
+  go ();
+  check "depth bounded below RAS size" true (!maxd <= 41)
+
+let test_return_targets_match_calls () =
+  let spec = Workload.Suite.find "vortex" in
+  let gen = Workload.Suite.stream spec ~length:80_000 in
+  let stack = ref [] in
+  let mismatches = ref 0 and returns = ref 0 in
+  let rec go () =
+    match gen () with
+    | None -> ()
+    | Some (i : Isa.Dyn_inst.t) ->
+      (match i.branch with
+      | Some { kind = Call; next_pc; _ } -> stack := next_pc :: !stack
+      | Some { kind = Return; target; _ } -> (
+        incr returns;
+        match !stack with
+        | top :: rest ->
+          stack := rest;
+          if top <> target then incr mismatches
+        | [] -> (* program-restart return *) ())
+      | _ -> ());
+      go ()
+  in
+  go ();
+  check "saw returns" true (!returns > 10);
+  Alcotest.(check int) "returns match call sites" 0 !mismatches
+
+let test_stride_addresses_in_region_and_advance () =
+  let prog =
+    mk_program ~n_cursors:1
+      [
+        block
+          [|
+            {
+              Workload.Program.klass = Isa.Iclass.Load;
+              dest = 9;
+              srcs = [| 1 |];
+              addr =
+                Some (Workload.Program.Stride { region = 0; cursor_id = 0; stride = 16 });
+            };
+          |]
+          (Workload.Program.Jump 0);
+      ]
+      0
+  in
+  let insts = drain (Workload.Interp.generator prog ~seed:5 ~length:600) in
+  let addrs =
+    List.filter_map
+      (fun (i : Isa.Dyn_inst.t) ->
+        if i.mem_addr >= 0 then Some i.mem_addr else None)
+      insts
+  in
+  let base = 0x1000_0000 in
+  List.iter
+    (fun a -> check "in region" true (a >= base && a < base + 4096))
+    addrs;
+  (* consecutive addresses advance by the stride (mod wraparound) *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check "advances by stride" true (b - a = 16 || b < a);
+      pairs rest
+    | _ -> ()
+  in
+  pairs addrs
+
+let test_loop_geo_mean () =
+  let prog =
+    mk_program
+      [
+        block [| alu () |]
+          (Workload.Program.Cond
+             {
+               klass = Isa.Iclass.Int_branch;
+               taken_to = 0;
+               fall_to = 1;
+               behavior = Workload.Program.Loop_geo { mean = 6.0 };
+             });
+        block [| alu () |] Workload.Program.Ret;
+      ]
+      0
+  in
+  let insts = drain (Workload.Interp.generator prog ~seed:6 ~length:60_000) in
+  let taken = ref 0 and total = ref 0 in
+  List.iter
+    (fun (i : Isa.Dyn_inst.t) ->
+      match i.branch with
+      | Some { kind = Cond; taken = t; _ } ->
+        incr total;
+        if t then incr taken
+      | _ -> ())
+    insts;
+  (* mean trips m => taken fraction m/(m+1) *)
+  let frac = float_of_int !taken /. float_of_int !total in
+  check "taken fraction ~ 6/7" true (Float.abs (frac -. (6.0 /. 7.0)) < 0.03)
+
+let suite =
+  [
+    Alcotest.test_case "fixed loop trips" `Quick test_fixed_loop_trips;
+    Alcotest.test_case "pattern branch" `Quick test_pattern_branch;
+    Alcotest.test_case "switch targets" `Quick test_switch_targets_valid_and_skewed;
+    Alcotest.test_case "call depth capped" `Quick test_call_depth_capped;
+    Alcotest.test_case "returns match calls" `Quick test_return_targets_match_calls;
+    Alcotest.test_case "stride addressing" `Quick
+      test_stride_addresses_in_region_and_advance;
+    Alcotest.test_case "geometric loop mean" `Quick test_loop_geo_mean;
+  ]

@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "statsim"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("isa", Test_isa.suite);
+      ("config", Test_config.suite);
+      ("cache", Test_cache.suite);
+      ("branch", Test_branch.suite);
+      ("workload", Test_workload.suite);
+      ("interp", Test_interp.suite);
+      ("uarch", Test_uarch.suite);
+      ("eds_feed", Test_eds_feed.suite);
+      ("power", Test_power.suite);
+      ("dot", Test_dot.suite);
+      ("profile", Test_profile.suite);
+      ("synth", Test_synth.suite);
+      ("hls", Test_hls.suite);
+      ("analytical", Test_analytical.suite);
+      ("simpoint", Test_simpoint.suite);
+      ("statsim", Test_statsim.suite);
+      ("serialize", Test_serialize.suite);
+      ("inorder", Test_inorder.suite);
+      ("experiments", Test_experiments.suite);
+      ("misc", Test_misc.suite);
+    ]

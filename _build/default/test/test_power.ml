@@ -1,0 +1,162 @@
+(* Power model tests: cc3 gating semantics, EPC composition, EDP. *)
+
+let check = Alcotest.(check bool)
+
+let cfg = Config.Machine.baseline
+let model = Power.Model.create cfg
+
+let idle_activity cycles =
+  let a = Power.Activity.create () in
+  a.cycles <- cycles;
+  a
+
+let busy_activity cycles =
+  let a = idle_activity cycles in
+  a.fetched <- cycles * cfg.decode_width * cfg.fetch_speed;
+  a.dispatched <- cycles * cfg.decode_width;
+  a.issued <- cycles * cfg.issue_width;
+  a.completed <- cycles * cfg.issue_width;
+  a.committed <- cycles * cfg.commit_width;
+  a.icache_accesses <- a.fetched;
+  a.dcache_accesses <- cycles * cfg.fu.mem_ports;
+  a.l2_accesses <- cycles;
+  a.int_alu_ops <- cycles * cfg.fu.int_alu;
+  a.mem_ops <- cycles * cfg.fu.mem_ports;
+  a.bpred_lookups <- cycles * 2;
+  a
+
+let test_idle_floor () =
+  (* cc3: an unused unit still burns 10% of its max power *)
+  let a = idle_activity 1000 in
+  let p = Power.Model.unit_power model a Power.Model.Ruu_unit in
+  let mx = Power.Model.max_power model Power.Model.Ruu_unit in
+  Alcotest.(check (float 1e-6)) "10% floor" (0.10 *. mx) p
+
+let test_full_usage_max () =
+  let a = busy_activity 1000 in
+  let p = Power.Model.unit_power model a Power.Model.Issue_unit in
+  let mx = Power.Model.max_power model Power.Model.Issue_unit in
+  check "full usage ~ max" true (p > 0.95 *. mx && p <= 1.05 *. mx)
+
+let test_monotonic_in_activity () =
+  let quiet = idle_activity 1000 in
+  quiet.issued <- 1000;
+  quiet.committed <- 1000;
+  let busy = busy_activity 1000 in
+  check "more activity, more power" true
+    (Power.Model.epc model busy > Power.Model.epc model quiet)
+
+let test_epc_is_sum_of_units () =
+  let a = busy_activity 100 in
+  let total =
+    List.fold_left
+      (fun acc k -> acc +. Power.Model.unit_power model a k)
+      0.0 Power.Model.unit_kinds
+  in
+  Alcotest.(check (float 1e-6)) "EPC = sum" total (Power.Model.epc model a)
+
+let test_zero_cycles () =
+  let a = Power.Activity.create () in
+  Alcotest.(check (float 1e-9)) "no cycles, clock only"
+    (Power.Model.unit_power model a Power.Model.Clock_unit *. 1.0)
+    (Power.Model.epc model a)
+
+let test_bigger_structures_burn_more () =
+  let big = Power.Model.create (Config.Machine.scale_caches cfg 4.0) in
+  check "bigger caches, more max power" true
+    (Power.Model.max_power big Power.Model.Dcache_unit
+    > Power.Model.max_power model Power.Model.Dcache_unit);
+  let wide = Power.Model.create (Config.Machine.with_window cfg ~ruu:256 ~lsq:64) in
+  check "bigger window, more RUU power" true
+    (Power.Model.max_power wide Power.Model.Ruu_unit
+    > Power.Model.max_power model Power.Model.Ruu_unit)
+
+let test_edp () =
+  Alcotest.(check (float 1e-9)) "EDP = EPC/IPC^2" 5.0
+    (Power.Model.edp ~epc:20.0 ~ipc:2.0);
+  Alcotest.check_raises "zero ipc"
+    (Invalid_argument "Model.edp: non-positive IPC") (fun () ->
+      ignore (Power.Model.edp ~epc:1.0 ~ipc:0.0))
+
+let test_activity_averages () =
+  let a = idle_activity 10 in
+  a.ruu_occupancy_sum <- 500;
+  a.committed <- 15;
+  Alcotest.(check (float 1e-9)) "occupancy avg" 50.0
+    (Power.Activity.avg_ruu_occupancy a);
+  Alcotest.(check (float 1e-9)) "ipc" 1.5 (Power.Activity.ipc a)
+
+let test_unit_names_unique () =
+  let names = List.map Power.Model.unit_name Power.Model.unit_kinds in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+
+let test_wattch_array_scaling () =
+  let e rows cols ports =
+    Power.Wattch.array_access_energy
+      { rows; cols; rd_ports = ports; wr_ports = ports }
+  in
+  check "more rows cost more" true (e 1024 64 1 > e 128 64 1);
+  check "more cols cost more" true (e 128 512 1 > e 128 64 1);
+  check "more ports cost more" true (e 128 64 4 > e 128 64 1);
+  check "positive" true (e 1 1 1 > 0.0)
+
+let test_wattch_cam_scaling () =
+  let e entries ports =
+    Power.Wattch.cam_access_energy ~entries ~tag_bits:40 ~ports
+  in
+  check "bigger CAM costs more" true (e 128 4 > e 32 4);
+  check "more ports cost more" true (e 64 8 > e 64 1)
+
+let test_wattch_unit_relations () =
+  let c = Config.Machine.baseline in
+  check "L2 access dearer than L1D" true
+    (Power.Wattch.l2_energy c > Power.Wattch.dcache_energy c);
+  check "D$ dearer than I$ (larger)" true
+    (Power.Wattch.dcache_energy c > Power.Wattch.icache_energy c);
+  check "all positive" true
+    (List.for_all
+       (fun f -> f c > 0.0)
+       [
+         Power.Wattch.icache_energy; Power.Wattch.dcache_energy;
+         Power.Wattch.l2_energy; Power.Wattch.bpred_energy;
+         Power.Wattch.ruu_energy; Power.Wattch.lsq_energy;
+         Power.Wattch.regfile_energy; Power.Wattch.fetch_energy;
+         Power.Wattch.dispatch_energy; Power.Wattch.issue_energy;
+         Power.Wattch.alu_energy; Power.Wattch.resultbus_energy;
+         Power.Wattch.clock_power;
+       ])
+
+let test_wattch_gshare_cheaper_than_hybrid () =
+  let c = Config.Machine.baseline in
+  let g = Config.Machine.(with_predictor c Gshare) in
+  check "single table cheaper" true
+    (Power.Wattch.bpred_energy g < Power.Wattch.bpred_energy c)
+
+let test_wattch_window_scales_ruu () =
+  let small = Config.Machine.with_window Config.Machine.baseline ~ruu:16 ~lsq:8 in
+  check "window scales RUU energy" true
+    (Power.Wattch.ruu_energy Config.Machine.baseline
+    > Power.Wattch.ruu_energy small)
+
+let suite =
+  [
+    Alcotest.test_case "cc3 idle floor" `Quick test_idle_floor;
+    Alcotest.test_case "full usage near max" `Quick test_full_usage_max;
+    Alcotest.test_case "monotonic in activity" `Quick test_monotonic_in_activity;
+    Alcotest.test_case "EPC sums units" `Quick test_epc_is_sum_of_units;
+    Alcotest.test_case "zero cycles" `Quick test_zero_cycles;
+    Alcotest.test_case "structure size scaling" `Quick
+      test_bigger_structures_burn_more;
+    Alcotest.test_case "EDP formula" `Quick test_edp;
+    Alcotest.test_case "activity averages" `Quick test_activity_averages;
+    Alcotest.test_case "unit names unique" `Quick test_unit_names_unique;
+    Alcotest.test_case "wattch array scaling" `Quick test_wattch_array_scaling;
+    Alcotest.test_case "wattch cam scaling" `Quick test_wattch_cam_scaling;
+    Alcotest.test_case "wattch unit relations" `Quick test_wattch_unit_relations;
+    Alcotest.test_case "wattch gshare cheaper" `Quick
+      test_wattch_gshare_cheaper_than_hybrid;
+    Alcotest.test_case "wattch window scaling" `Quick
+      test_wattch_window_scales_ruu;
+  ]

@@ -1,0 +1,151 @@
+(* Histogram and summary-statistics tests. *)
+
+let check = Alcotest.(check bool)
+
+let test_histogram_counts () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 3;
+  Stats.Histogram.add h 3;
+  Stats.Histogram.add_many h 7 5;
+  Alcotest.(check int) "count 3" 2 (Stats.Histogram.count h 3);
+  Alcotest.(check int) "count 7" 5 (Stats.Histogram.count h 7);
+  Alcotest.(check int) "count missing" 0 (Stats.Histogram.count h 99);
+  Alcotest.(check int) "total" 7 (Stats.Histogram.total h);
+  Alcotest.(check int) "max" 7 (Stats.Histogram.max_value h)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  check "empty" true (Stats.Histogram.is_empty h);
+  Alcotest.(check (float 1e-9)) "mean 0" 0.0 (Stats.Histogram.mean h);
+  Alcotest.check_raises "sample raises" (Invalid_argument "Histogram.sample: empty")
+    (fun () -> ignore (Stats.Histogram.sample h (Prng.create ~seed:1)))
+
+let test_histogram_mean_stddev () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 2; 4; 4; 4; 5; 5; 7; 9 ];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.Histogram.stddev h)
+
+let test_histogram_support_order () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 9; 1; 5; 1 ];
+  Alcotest.(check (list int)) "sorted support" [ 1; 5; 9 ]
+    (Stats.Histogram.support h)
+
+let test_histogram_sample_distribution () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add_many h 1 90;
+  Stats.Histogram.add_many h 100 10;
+  let rng = Prng.create ~seed:2 in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Stats.Histogram.sample h rng with
+    | 1 -> incr ones
+    | 100 -> ()
+    | v -> Alcotest.failf "sampled out of support: %d" v
+  done;
+  let rate = float_of_int !ones /. float_of_int n in
+  check "proportional" true (Float.abs (rate -. 0.9) < 0.02)
+
+let test_histogram_sample_after_mutation () =
+  (* the CDF cache must invalidate on add *)
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add h 1;
+  let rng = Prng.create ~seed:3 in
+  ignore (Stats.Histogram.sample h rng);
+  Stats.Histogram.add_many h 2 1_000_000;
+  let twos = ref 0 in
+  for _ = 1 to 100 do
+    if Stats.Histogram.sample h rng = 2 then incr twos
+  done;
+  check "cache refreshed" true (!twos > 95)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.add_many a 1 3;
+  Stats.Histogram.add_many b 1 2;
+  Stats.Histogram.add_many b 5 4;
+  Stats.Histogram.merge a b;
+  Alcotest.(check int) "merged count" 5 (Stats.Histogram.count a 1);
+  Alcotest.(check int) "merged total" 9 (Stats.Histogram.total a);
+  Alcotest.(check int) "source untouched" 6 (Stats.Histogram.total b)
+
+let test_histogram_copy_independent () =
+  let a = Stats.Histogram.create () in
+  Stats.Histogram.add a 1;
+  let b = Stats.Histogram.copy a in
+  Stats.Histogram.add b 1;
+  Alcotest.(check int) "original" 1 (Stats.Histogram.count a 1);
+  Alcotest.(check int) "copy" 2 (Stats.Histogram.count b 1)
+
+let prop_sample_in_support =
+  QCheck.Test.make ~name:"sample stays in support" ~count:300
+    QCheck.(pair small_int (list_of_size Gen.(1 -- 20) (int_range 0 100)))
+    (fun (seed, values) ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) values;
+      let rng = Prng.create ~seed in
+      let v = Stats.Histogram.sample h rng in
+      List.mem v values)
+
+let prop_total_is_sum =
+  QCheck.Test.make ~name:"total equals insertions" ~count:300
+    QCheck.(list (int_range 0 50))
+    (fun values ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) values;
+      Stats.Histogram.total h = List.length values)
+
+let test_summary_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.Summary.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.Summary.mean []);
+  Alcotest.(check (float 1e-9))
+    "stddev" 2.0
+    (Stats.Summary.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_summary_cov () =
+  Alcotest.(check (float 1e-9)) "constant CoV" 0.0 (Stats.Summary.cov [ 5.0; 5.0 ]);
+  let cov = Stats.Summary.cov [ 8.0; 12.0 ] in
+  Alcotest.(check (float 1e-9)) "cov" 0.2 cov
+
+let test_absolute_error () =
+  (* AE = |M_SS - M_EDS| / M_EDS, Section 4.2 *)
+  Alcotest.(check (float 1e-9)) "10% low" 0.1
+    (Stats.Summary.absolute_error ~reference:2.0 ~predicted:1.8);
+  Alcotest.(check (float 1e-9)) "10% high" 0.1
+    (Stats.Summary.absolute_error ~reference:2.0 ~predicted:2.2);
+  Alcotest.check_raises "zero reference"
+    (Invalid_argument "Summary.absolute_error: zero reference") (fun () ->
+      ignore (Stats.Summary.absolute_error ~reference:0.0 ~predicted:1.0))
+
+let test_relative_error () =
+  (* RE on a perfectly predicted trend is 0 even with absolute offset *)
+  Alcotest.(check (float 1e-9)) "trend exact" 0.0
+    (Stats.Summary.relative_error ~ref_a:1.0 ~ref_b:2.0 ~pred_a:1.5 ~pred_b:3.0);
+  (* predicted trend 1.5x vs real 2.0x -> |1.5/2 - 1| = 0.25 *)
+  Alcotest.(check (float 1e-9)) "trend off" 0.25
+    (Stats.Summary.relative_error ~ref_a:1.0 ~ref_b:2.0 ~pred_a:1.0 ~pred_b:1.5)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.Summary.geomean [ 2.0; 8.0 ])
+
+let suite =
+  [
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram mean/stddev" `Quick test_histogram_mean_stddev;
+    Alcotest.test_case "histogram support order" `Quick test_histogram_support_order;
+    Alcotest.test_case "histogram sampling" `Quick test_histogram_sample_distribution;
+    Alcotest.test_case "histogram cache invalidation" `Quick
+      test_histogram_sample_after_mutation;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram copy" `Quick test_histogram_copy_independent;
+    QCheck_alcotest.to_alcotest prop_sample_in_support;
+    QCheck_alcotest.to_alcotest prop_total_is_sum;
+    Alcotest.test_case "summary mean/stddev" `Quick test_summary_mean_stddev;
+    Alcotest.test_case "summary cov" `Quick test_summary_cov;
+    Alcotest.test_case "absolute error" `Quick test_absolute_error;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+  ]

@@ -1,0 +1,114 @@
+(* End-to-end integration tests of the public Statsim API. *)
+
+let check = Alcotest.(check bool)
+
+let cfg = Config.Machine.baseline
+
+let test_full_flow_accuracy () =
+  (* the paper's headline claim at miniature scale: statistical
+     simulation predicts EDS IPC within a loose bound on two workloads *)
+  List.iter
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let stream () = Workload.Suite.stream spec ~length:60_000 in
+      let eds = Statsim.reference cfg (stream ()) in
+      let ss =
+        Statsim.run cfg (stream ()) ~target_length:15_000 ~seed:99
+      in
+      let err =
+        Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+          ~predicted:ss.Statsim.ipc
+      in
+      if err > 0.25 then
+        Alcotest.failf "%s: SS error %.1f%% too high" name (100.0 *. err))
+    [ "gzip"; "twolf" ]
+
+let test_epc_accuracy () =
+  let spec = Workload.Suite.find "vpr" in
+  let stream () = Workload.Suite.stream spec ~length:60_000 in
+  let eds = Statsim.reference cfg (stream ()) in
+  let ss = Statsim.run cfg (stream ()) ~target_length:15_000 ~seed:7 in
+  let err =
+    Stats.Summary.absolute_error ~reference:eds.Statsim.epc ~predicted:ss.epc
+  in
+  check "EPC within 15%" true (err < 0.15)
+
+let test_determinism () =
+  let spec = Workload.Suite.find "eon" in
+  let run () =
+    Statsim.run cfg
+      (Workload.Suite.stream spec ~length:20_000)
+      ~target_length:5_000 ~seed:5
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-12)) "same IPC" a.Statsim.ipc b.Statsim.ipc;
+  Alcotest.(check (float 1e-12)) "same EPC" a.epc b.epc
+
+let test_result_derivations () =
+  let spec = Workload.Suite.find "bzip2" in
+  let r =
+    Statsim.reference cfg (Workload.Suite.stream spec ~length:20_000)
+  in
+  Alcotest.(check (float 1e-9)) "edp = epc/ipc^2"
+    (r.epc /. (r.ipc *. r.ipc))
+    r.edp;
+  Alcotest.(check (float 1e-9)) "ipc from metrics"
+    (Uarch.Metrics.ipc r.metrics) r.ipc
+
+let test_reference_max_instructions () =
+  let spec = Workload.Suite.find "gcc" in
+  let r =
+    Statsim.reference ~max_instructions:5_000 cfg
+      (Workload.Suite.stream spec ~length:50_000)
+  in
+  Alcotest.(check int) "bounded" 5_000 r.metrics.committed
+
+let test_relative_trend_window () =
+  (* relative accuracy on a window step, the Table 4 mechanic: the
+     predicted IPC trend from RUU 16 to RUU 128 must match EDS within a
+     few percent and both must agree performance improves *)
+  let spec = Workload.Suite.find "gzip" in
+  let stream () = Workload.Suite.stream spec ~length:60_000 in
+  let small = Config.Machine.with_window cfg ~ruu:16 ~lsq:8 in
+  let eds_a = Statsim.reference small (stream ()) in
+  let eds_b = Statsim.reference cfg (stream ()) in
+  let p = Statsim.profile cfg (stream ()) in
+  let ss_a = Statsim.run_profile ~target_length:15_000 small p ~seed:3 in
+  let ss_b = Statsim.run_profile ~target_length:15_000 cfg p ~seed:3 in
+  check "EDS improves" true (eds_b.Statsim.ipc > eds_a.Statsim.ipc);
+  check "SS improves" true (ss_b.Statsim.ipc > ss_a.Statsim.ipc);
+  let rel =
+    Stats.Summary.relative_error ~ref_a:eds_a.Statsim.ipc
+      ~ref_b:eds_b.Statsim.ipc ~pred_a:ss_a.Statsim.ipc ~pred_b:ss_b.Statsim.ipc
+  in
+  check "trend within 12%" true (rel < 0.12)
+
+let test_profile_reuse_across_widths () =
+  (* one profile, several width configurations — the DSE workflow *)
+  let spec = Workload.Suite.find "parser" in
+  let p = Statsim.profile cfg (Workload.Suite.stream spec ~length:30_000) in
+  let ipcs =
+    List.map
+      (fun w ->
+        (Statsim.run_profile ~target_length:8_000
+           (Config.Machine.with_width cfg w)
+           p ~seed:11)
+          .Statsim.ipc)
+      [ 2; 4; 8 ]
+  in
+  match ipcs with
+  | [ a; b; c ] ->
+    check "monotone-ish in width" true (a <= b +. 0.15 && b <= c +. 0.15)
+  | _ -> assert false
+
+let suite =
+  [
+    Alcotest.test_case "full flow accuracy" `Slow test_full_flow_accuracy;
+    Alcotest.test_case "EPC accuracy" `Slow test_epc_accuracy;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "result derivations" `Quick test_result_derivations;
+    Alcotest.test_case "reference bound" `Quick test_reference_max_instructions;
+    Alcotest.test_case "relative trend (window)" `Slow test_relative_trend_window;
+    Alcotest.test_case "profile reuse across widths" `Quick
+      test_profile_reuse_across_widths;
+  ]

@@ -1,0 +1,254 @@
+(* Synthetic trace generation tests: reduction arithmetic, the 9-step
+   walk, dependency retry rule, flag consistency. *)
+
+let check = Alcotest.(check bool)
+
+let cfg = Config.Machine.baseline
+
+let profile_of spec len =
+  Statsim.profile cfg (Workload.Suite.stream spec ~length:len)
+
+let test_reduction_length () =
+  let spec = Workload.Suite.find "gzip" in
+  let p = profile_of spec 60_000 in
+  let t = Synth.Generate.generate ~reduction:10 p ~seed:1 in
+  let len = Synth.Trace.length t in
+  (* one block visit per reduced occurrence: within ~15% of 1/R *)
+  check "length ~ N/R"
+    true
+    (abs (len - 6_000) < 1_200);
+  Alcotest.(check int) "records R" 10 t.reduction
+
+let test_target_length () =
+  let spec = Workload.Suite.find "eon" in
+  let p = profile_of spec 50_000 in
+  let t = Synth.Generate.generate ~target_length:5_000 p ~seed:2 in
+  let len = Synth.Trace.length t in
+  check "near target" true (abs (len - 5_000) < 1_500)
+
+let test_both_args_rejected () =
+  let spec = Workload.Suite.find "eon" in
+  let p = profile_of spec 5_000 in
+  Alcotest.check_raises "both args"
+    (Invalid_argument
+       "Generate.generate: give reduction or target_length, not both")
+    (fun () ->
+      ignore (Synth.Generate.generate ~reduction:2 ~target_length:10 p ~seed:1))
+
+let test_excessive_reduction_rejected () =
+  let spec = Workload.Suite.find "vpr" in
+  let p = profile_of spec 2_000 in
+  check "raises on empty graph" true
+    (try
+       ignore (Synth.Generate.generate ~reduction:1_000_000 p ~seed:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_all_well_formed () =
+  List.iter
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let p = profile_of spec 40_000 in
+      let t = Synth.Generate.generate ~reduction:5 p ~seed:3 in
+      Array.iteri
+        (fun i s ->
+          if not (Synth.Trace.well_formed s) then
+            Alcotest.failf "%s: ill-formed synthetic inst %d" name i)
+        t.insts)
+    [ "gcc"; "twolf"; "bzip2" ]
+
+let test_dep_retry_rule () =
+  (* no sampled dependency may point at a branch or store (they produce
+     no register value) — the paper's 1000-retry rule *)
+  let spec = Workload.Suite.find "crafty" in
+  let p = profile_of spec 40_000 in
+  let t = Synth.Generate.generate ~reduction:5 p ~seed:4 in
+  Array.iteri
+    (fun i s ->
+      Array.iter
+        (fun d ->
+          if d > 0 && i - d >= 0 then
+            check "producer has a destination" true
+              (Isa.Iclass.has_dest t.insts.(i - d).Synth.Trace.klass))
+        s.Synth.Trace.deps)
+    t.insts
+
+let test_determinism () =
+  let spec = Workload.Suite.find "parser" in
+  let p = profile_of spec 20_000 in
+  let a = Synth.Generate.generate ~reduction:4 p ~seed:5 in
+  let b = Synth.Generate.generate ~reduction:4 p ~seed:5 in
+  check "same trace" true (a.insts = b.insts);
+  let c = Synth.Generate.generate ~reduction:4 p ~seed:6 in
+  check "seed changes trace" true (a.insts <> c.insts)
+
+let test_mix_preserved () =
+  (* the synthetic instruction mix tracks the profile's mix *)
+  let spec = Workload.Suite.find "gcc" in
+  let len = 60_000 in
+  let p = profile_of spec len in
+  let t = Synth.Generate.generate ~reduction:5 p ~seed:7 in
+  let count pred arr =
+    Array.fold_left (fun acc x -> if pred x then acc + 1 else acc) 0 arr
+  in
+  let frac_loads_syn =
+    float_of_int
+      (count (fun (s : Synth.Trace.inst) -> Isa.Iclass.is_load s.klass) t.insts)
+    /. float_of_int (Synth.Trace.length t)
+  in
+  (* reference loads fraction from a fresh stream *)
+  let gen = Workload.Suite.stream spec ~length:len in
+  let loads = ref 0 and n = ref 0 in
+  let rec drain () =
+    match gen () with
+    | None -> ()
+    | Some i ->
+      incr n;
+      if Isa.Iclass.is_load i.klass then incr loads;
+      drain ()
+  in
+  drain ();
+  let frac_loads_ref = float_of_int !loads /. float_of_int !n in
+  check "load fraction matches" true
+    (Float.abs (frac_loads_syn -. frac_loads_ref) < 0.03)
+
+let test_miss_rates_preserved () =
+  let spec = Workload.Suite.find "twolf" in
+  let p = profile_of spec 60_000 in
+  let t = Synth.Generate.generate ~reduction:4 p ~seed:8 in
+  (* aggregate l1d flag rate vs profile aggregate *)
+  let loads = ref 0 and misses = ref 0 in
+  Array.iter
+    (fun (s : Synth.Trace.inst) ->
+      if Isa.Iclass.is_load s.klass then begin
+        incr loads;
+        if s.l1d_miss then incr misses
+      end)
+    t.insts;
+  let syn_rate = float_of_int !misses /. float_of_int (max 1 !loads) in
+  let ploads = ref 0 and pmisses = ref 0 in
+  Profile.Sfg.iter_nodes p.sfg (fun n ->
+      ploads := !ploads + n.loads;
+      pmisses := !pmisses + n.l1d_misses);
+  let ref_rate = float_of_int !pmisses /. float_of_int (max 1 !ploads) in
+  check "l1d rate tracks profile" true (Float.abs (syn_rate -. ref_rate) < 0.05)
+
+let test_mispredict_rate_preserved () =
+  let spec = Workload.Suite.find "twolf" in
+  let p = profile_of spec 60_000 in
+  let t = Synth.Generate.generate ~reduction:4 p ~seed:9 in
+  let branches = ref 0 and mis = ref 0 in
+  Array.iter
+    (fun (s : Synth.Trace.inst) ->
+      match s.Synth.Trace.branch with
+      | Some b ->
+        incr branches;
+        if b.mispredict then incr mis
+      | None -> ())
+    t.insts;
+  let syn = float_of_int !mis /. float_of_int (max 1 !branches) in
+  let pb = ref 0 and pm = ref 0 in
+  Profile.Sfg.iter_nodes p.sfg (fun n ->
+      pb := !pb + n.br_execs;
+      pm := !pm + n.br_mispredict);
+  let reference = float_of_int !pm /. float_of_int (max 1 !pb) in
+  check "mispredict rate tracks profile" true
+    (Float.abs (syn -. reference) < 0.03)
+
+let test_k0_uses_no_edges () =
+  (* with k=0 every block is drawn independently: consecutive-pair
+     distribution flattens vs the k=1 walk *)
+  let spec = Workload.Suite.find "gzip" in
+  let pair_entropy k =
+    let p =
+      Statsim.profile ~k cfg (Workload.Suite.stream spec ~length:40_000)
+    in
+    let t = Synth.Generate.generate ~reduction:5 p ~seed:10 in
+    let pairs = Hashtbl.create 64 in
+    Array.iteri
+      (fun i (s : Synth.Trace.inst) ->
+        if i > 0 then begin
+          let key = (t.insts.(i - 1).Synth.Trace.block, s.Synth.Trace.block) in
+          Hashtbl.replace pairs key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt pairs key))
+        end)
+      t.insts;
+    Hashtbl.length pairs
+  in
+  (* the independent draw creates many more distinct block pairs *)
+  check "k=0 scrambles sequencing" true (pair_entropy 0 > pair_entropy 1)
+
+let test_simulate_trace () =
+  let spec = Workload.Suite.find "perlbmk" in
+  let p = profile_of spec 30_000 in
+  let t = Synth.Generate.generate ~target_length:8_000 p ~seed:11 in
+  let m = Synth.Run.run cfg t in
+  Alcotest.(check int) "commits whole trace" (Synth.Trace.length t) m.committed;
+  check "plausible IPC" true (Uarch.Metrics.ipc m > 0.05 && Uarch.Metrics.ipc m <= 8.0)
+
+let test_mean_ipc_weighting () =
+  let m cycles committed =
+    {
+      Uarch.Metrics.cycles;
+      committed;
+      activity = Power.Activity.create ();
+      branches = 0;
+      mispredicts = 0;
+      redirects = 0;
+      taken = 0;
+      loads = 0;
+      stores = 0;
+    }
+  in
+  (* 100 insts in 100 cycles + 300 insts in 100 cycles = 400/200 *)
+  Alcotest.(check (float 1e-9)) "weighted mean" 2.0
+    (Synth.Run.mean_ipc [ m 100 100; m 100 300 ])
+
+
+let test_trace_fidelity () =
+  (* the generated trace must reproduce the profile's statistics tightly *)
+  List.iter
+    (fun name ->
+      let spec = Workload.Suite.find name in
+      let p = profile_of spec 60_000 in
+      let t = Synth.Generate.generate ~reduction:4 p ~seed:21 in
+      let f = Synth.Trace_stats.fidelity p t in
+      if f.worst_mix_gap > 0.02 then
+        Alcotest.failf "%s: mix gap %.3f" name f.worst_mix_gap;
+      List.iter
+        (fun (rname, gap) ->
+          if gap > 0.03 then Alcotest.failf "%s: %s gap %.3f" name rname gap)
+        f.rate_gaps;
+      check "block size close" true
+        (Float.abs (f.trace.mean_block_size -. f.expected.mean_block_size)
+        < 0.5 +. (0.1 *. f.expected.mean_block_size)))
+    [ "gcc"; "gzip"; "twolf" ]
+
+let test_trace_stats_of_profile_totals () =
+  let spec = Workload.Suite.find "vpr" in
+  let p = profile_of spec 10_000 in
+  let s = Synth.Trace_stats.of_profile p in
+  Alcotest.(check (float 1e-6)) "mix sums to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 s.mix);
+  Alcotest.(check int) "instructions" 10_000 s.instructions
+
+let suite =
+  [
+    Alcotest.test_case "reduction length" `Quick test_reduction_length;
+    Alcotest.test_case "target length" `Quick test_target_length;
+    Alcotest.test_case "both args rejected" `Quick test_both_args_rejected;
+    Alcotest.test_case "excessive reduction" `Quick test_excessive_reduction_rejected;
+    Alcotest.test_case "well-formed traces" `Quick test_all_well_formed;
+    Alcotest.test_case "dependency retry rule" `Quick test_dep_retry_rule;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "instruction mix preserved" `Quick test_mix_preserved;
+    Alcotest.test_case "miss rates preserved" `Quick test_miss_rates_preserved;
+    Alcotest.test_case "mispredict rate preserved" `Quick
+      test_mispredict_rate_preserved;
+    Alcotest.test_case "k=0 has no edges" `Quick test_k0_uses_no_edges;
+    Alcotest.test_case "simulate trace" `Quick test_simulate_trace;
+    Alcotest.test_case "mean_ipc weighting" `Quick test_mean_ipc_weighting;
+    Alcotest.test_case "trace fidelity" `Quick test_trace_fidelity;
+    Alcotest.test_case "trace stats totals" `Quick
+      test_trace_stats_of_profile_totals;
+  ]
