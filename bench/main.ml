@@ -7,7 +7,11 @@
      dune exec bench/main.exe fig6 table4  # a subset
      dune exec bench/main.exe micro        # component throughputs only
      REPRO_SCALE=4 dune exec bench/main.exe    # 4x longer streams
-     REPRO_BENCHES=gcc,twolf dune exec bench/main.exe fig6 *)
+     REPRO_JOBS=4 dune exec bench/main.exe     # 4 worker domains
+     REPRO_BENCHES=gcc,twolf dune exec bench/main.exe fig6
+
+   Experiment timings and memo-cache statistics are also written to
+   BENCH_summary.json (machine-readable; gitignored). *)
 
 let ppf = Format.std_formatter
 
@@ -82,6 +86,13 @@ let run_micro () =
 
 (* --- driver --- *)
 
+(* one ctx for the whole invocation: the memo cache shares EDS
+   references and profiles across every experiment that runs *)
+let ctx = lazy (Runner.Exec.create_ctx ())
+
+(* (id, seconds) in run order, for the machine-readable summary *)
+let timings : (string * float) list ref = ref []
+
 let usage () =
   Format.fprintf ppf "experiments:@.";
   List.iter
@@ -93,9 +104,12 @@ let usage () =
 let run_one id =
   match Experiments.Registry.find id with
   | Some e ->
+    let ctx = Lazy.force ctx in
     let t0 = Unix.gettimeofday () in
-    e.run ppf;
-    Format.fprintf ppf "[%s done in %.1fs]@.@." id (Unix.gettimeofday () -. t0)
+    Runner.Report.to_text ppf (Runner.Exec.run ctx e.plan);
+    let dt = Unix.gettimeofday () -. t0 in
+    timings := (id, dt) :: !timings;
+    Format.fprintf ppf "[%s done in %.1fs]@.@." id dt
   | None ->
     if id = "micro" then run_micro ()
     else begin
@@ -104,8 +118,37 @@ let run_one id =
       exit 2
     end
 
+let summary_file = "BENCH_summary.json"
+
+let write_summary () =
+  match List.rev !timings with
+  | [] -> ()
+  | ts ->
+    let ctx = Lazy.force ctx in
+    let st = Runner.Cache.stats ctx.cache in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"jobs\":%d,\"scale\":%g,\"experiments\":[" ctx.jobs
+         Experiments.Exp_common.scale);
+    List.iteri
+      (fun i (id, dt) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "{\"id\":%S,\"seconds\":%.3f}" id dt))
+      ts;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "],\"total_seconds\":%.3f,\"cache\":{\"profile_hits\":%d,\"profile_misses\":%d,\"reference_hits\":%d,\"reference_misses\":%d}}\n"
+         (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 ts)
+         st.profile_hits st.profile_misses st.reference_hits
+         st.reference_misses);
+    let oc = open_out summary_file in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Format.fprintf ppf "[timing summary written to %s]@." summary_file
+
 let () =
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | _ :: [] ->
     List.iter
       (fun (e : Experiments.Registry.entry) -> run_one e.id)
@@ -113,4 +156,5 @@ let () =
     run_micro ()
   | _ :: [ ("-h" | "--help" | "help") ] -> usage ()
   | _ :: ids -> List.iter run_one ids
-  | [] -> assert false
+  | [] -> assert false);
+  write_summary ()

@@ -28,6 +28,10 @@ let k_arg =
   let doc = "SFG order (0-3): blocks are qualified by K predecessors." in
   Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
 
+let k_opt_arg =
+  let doc = "SFG order (0-3): blocks are qualified by K predecessors." in
+  Arg.(value & opt (some int) None & info [ "k" ] ~docv:"K" ~doc)
+
 let spec_of_name name =
   match Workload.Suite.find name with
   | spec -> spec
@@ -54,8 +58,19 @@ let simulate_cmd =
       match profile_file with
       | Some path ->
         let p = Profile.Serialize.load_file path in
+        (* the SFG order is baked into a saved profile at collection
+           time; silently honouring a different -k would mislead *)
+        (match k with
+        | Some k when k <> p.Profile.Stat_profile.k ->
+          Printf.eprintf
+            "warning: -k %d ignored: profile %s was collected with k=%d\n" k
+            path p.Profile.Stat_profile.k
+        | Some _ | None -> ());
         Statsim.run_profile ~target_length:syn cfg p ~seed
-      | None -> Statsim.run ~k cfg (stream ()) ~target_length:syn ~seed
+      | None ->
+        Statsim.run
+          ~k:(Option.value k ~default:1)
+          cfg (stream ()) ~target_length:syn ~seed
     in
     Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
     let line name get =
@@ -73,7 +88,7 @@ let simulate_cmd =
   let doc = "compare statistical simulation against the execution-driven reference" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_arg
+      const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
       $ load_arg)
 
 let profile_cmd =
@@ -110,29 +125,57 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bench_arg $ length_arg $ k_arg $ save_arg)
 
+let format_arg =
+  let doc = "Report format: $(b,text) (the paper tables), $(b,csv) or $(b,json)." in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("text", Runner.Report.Text);
+             ("csv", Runner.Report.Csv);
+             ("json", Runner.Report.Json);
+           ])
+        Runner.Report.Text
+    & info [ "f"; "format" ] ~docv:"FMT" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for experiment jobs (default: $(b,REPRO_JOBS), or 1 = \
+     serial)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let experiment_cmd =
-  let run ids =
+  let run ids format jobs =
     let ppf = Format.std_formatter in
-    match ids with
-    | [] ->
-      List.iter
-        (fun (e : Experiments.Registry.entry) -> e.run ppf)
-        Experiments.Registry.all
-    | ids ->
-      List.iter
-        (fun id ->
-          match Experiments.Registry.find id with
-          | Some e -> e.run ppf
-          | None ->
-            Printf.eprintf "unknown experiment %S\n" id;
-            exit 2)
-        ids
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "unknown experiment %S\n" id;
+              exit 2)
+          ids
+    in
+    (* one ctx for the whole selection: references and profiles are
+       computed once and shared across experiments *)
+    let ctx = Runner.Exec.create_ctx ?jobs () in
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Runner.Report.render format ppf (Runner.Exec.run ctx e.plan))
+      entries
   in
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment id(s).")
   in
   let doc = "regenerate one of the paper's tables or figures" in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ ids_arg $ format_arg $ jobs_arg)
 
 let dot_cmd =
   let run bench length k cfg_out sfg_out =

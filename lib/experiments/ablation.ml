@@ -9,53 +9,7 @@ let abl_benches = [ "gzip"; "eon"; "gcc"; "twolf" ]
 let cfg = Config.Machine.baseline
 
 type fifo_row = { bench : string; eds_mpki : float; by_fifo : (int * float) list }
-
-let fifo_sweep () =
-  List.map
-    (fun name ->
-      let spec = Workload.Suite.find name in
-      let stream () = Exp_common.stream ~length:abl_ref_length spec in
-      let eds = Uarch.Eds.run cfg (stream ()) in
-      let by_fifo =
-        List.map
-          (fun size ->
-            let p =
-              Statsim.profile
-                ~branch_mode:
-                  (Profile.Branch_profiler.Delayed
-                     { fifo_size = size; squash_refetch = false })
-                cfg (stream ())
-            in
-            (size, Profile.Stat_profile.mpki p))
-          fifo_sizes
-      in
-      { bench = name; eds_mpki = Uarch.Metrics.mpki eds; by_fifo })
-    abl_benches
-
 type cap_row = { bench : string; by_cap : (int * float) list }
-
-let cap_sweep () =
-  List.map
-    (fun name ->
-      let spec = Workload.Suite.find name in
-      let stream () = Exp_common.stream ~length:abl_ref_length spec in
-      let eds = Statsim.reference cfg (stream ()) in
-      let by_cap =
-        List.map
-          (fun cap ->
-            let p = Statsim.profile ~dep_cap:cap cfg (stream ()) in
-            let ss =
-              Statsim.run_profile ~target_length:abl_syn_length cfg p
-                ~seed:Exp_common.seed
-            in
-            ( cap,
-              Exp_common.pct
-                (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-                   ~predicted:ss.Statsim.ipc) ))
-          dep_caps
-      in
-      { bench = name; by_cap })
-    abl_benches
 
 type wp_row = {
   bench : string;
@@ -64,30 +18,6 @@ type wp_row = {
   wp_err : float;
 }
 
-let wrong_path_compare () =
-  List.map
-    (fun name ->
-      let spec = Workload.Suite.find name in
-      let stream () = Exp_common.stream ~length:abl_ref_length spec in
-      let eds = Statsim.reference cfg (stream ()) in
-      let p = Statsim.profile cfg (stream ()) in
-      let trace =
-        Statsim.synthesize ~target_length:abl_syn_length p ~seed:Exp_common.seed
-      in
-      let err ?wrong_path_locality () =
-        let m = Synth.Run.run ?wrong_path_locality cfg trace in
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-             ~predicted:(Uarch.Metrics.ipc m))
-      in
-      {
-        bench = name;
-        eds_ipc = eds.Statsim.ipc;
-        no_wp_err = err ();
-        wp_err = err ~wrong_path_locality:true ();
-      })
-    abl_benches
-
 type squash_row = {
   bench : string;
   eds : float;
@@ -95,58 +25,159 @@ type squash_row = {
   repredict : float;
 }
 
-let squash_compare () =
-  List.map
-    (fun name ->
-      let spec = Workload.Suite.find name in
-      let stream () = Exp_common.stream ~length:abl_ref_length spec in
-      let eds = Uarch.Eds.run cfg (stream ()) in
-      let mpki squash =
-        Profile.Stat_profile.mpki
-          (Statsim.profile
-             ~branch_mode:
-               (Profile.Branch_profiler.Delayed
-                  { fifo_size = cfg.ifq_size; squash_refetch = squash })
-             cfg (stream ()))
-      in
+type section = Fifo | Cap | Wp | Squash
+
+type res =
+  | R_fifo of fifo_row
+  | R_cap of cap_row
+  | R_wp of wp_row
+  | R_squash of squash_row
+
+let sections = [ Fifo; Cap; Wp; Squash ]
+
+let jobs () =
+  sections
+  |> List.concat_map (fun sec ->
+         List.map (fun name -> (sec, name)) abl_benches)
+  |> Array.of_list
+
+let exec cache (sec, name) =
+  let spec = Workload.Suite.find name in
+  let s = Exp_common.src ~length:abl_ref_length spec in
+  match sec with
+  | Fifo ->
+    let eds = (Exp_common.reference cache cfg s).Statsim.metrics in
+    let by_fifo =
+      List.map
+        (fun size ->
+          let p =
+            Exp_common.profile cache
+              ~branch_mode:
+                (Profile.Branch_profiler.Delayed
+                   { fifo_size = size; squash_refetch = false })
+              cfg s
+          in
+          (size, Profile.Stat_profile.mpki p))
+        fifo_sizes
+    in
+    R_fifo { bench = name; eds_mpki = Uarch.Metrics.mpki eds; by_fifo }
+  | Cap ->
+    let eds = Exp_common.reference cache cfg s in
+    let by_cap =
+      List.map
+        (fun cap ->
+          let p = Exp_common.profile cache ~dep_cap:cap cfg s in
+          let ss =
+            Statsim.run_profile ~target_length:abl_syn_length cfg p
+              ~seed:Exp_common.seed
+          in
+          ( cap,
+            Exp_common.pct
+              (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+                 ~predicted:ss.Statsim.ipc) ))
+        dep_caps
+    in
+    R_cap { bench = name; by_cap }
+  | Wp ->
+    let eds = Exp_common.reference cache cfg s in
+    let p = Exp_common.profile cache cfg s in
+    let trace =
+      Statsim.synthesize ~target_length:abl_syn_length p ~seed:Exp_common.seed
+    in
+    let err ?wrong_path_locality () =
+      let m = Synth.Run.run ?wrong_path_locality cfg trace in
+      Exp_common.pct
+        (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+           ~predicted:(Uarch.Metrics.ipc m))
+    in
+    R_wp
+      {
+        bench = name;
+        eds_ipc = eds.Statsim.ipc;
+        no_wp_err = err ();
+        wp_err = err ~wrong_path_locality:true ();
+      }
+  | Squash ->
+    let eds = (Exp_common.reference cache cfg s).Statsim.metrics in
+    let mpki squash =
+      Profile.Stat_profile.mpki
+        (Exp_common.profile cache
+           ~branch_mode:
+             (Profile.Branch_profiler.Delayed
+                { fifo_size = cfg.ifq_size; squash_refetch = squash })
+           cfg s)
+    in
+    R_squash
       {
         bench = name;
         eds = Uarch.Metrics.mpki eds;
         memoized = mpki false;
         repredict = mpki true;
-      })
-    abl_benches
+      }
 
-let run ppf =
-  Format.fprintf ppf
-    "== Ablations (repository addition; not a paper artifact) ==@.";
-  Format.fprintf ppf
-    "-- delayed-update FIFO size vs profiled branch MPKI (EDS is the \
-     target; the IFQ size is %d) --@."
-    cfg.ifq_size;
-  Exp_common.row_header ppf "bench"
-    ("EDS" :: List.map (fun s -> Printf.sprintf "fifo=%d" s) fifo_sizes);
-  List.iter
-    (fun (r : fifo_row) ->
-      Exp_common.row ppf r.bench (r.eds_mpki :: List.map snd r.by_fifo))
-    (fifo_sweep ());
-  Format.fprintf ppf
-    "-- dependency-distance cap vs IPC prediction error (%%) --@.";
-  Exp_common.row_header ppf "bench"
-    (List.map (fun c -> Printf.sprintf "cap=%d" c) dep_caps);
-  List.iter
-    (fun (r : cap_row) -> Exp_common.row ppf r.bench (List.map snd r.by_cap))
-    (cap_sweep ());
-  Format.fprintf ppf
-    "-- wrong-path locality charging in the synthetic simulator (IPC err      %%) --@.";
-  Exp_common.row_header ppf "bench" [ "IPC.eds"; "paper"; "with-wp" ];
-  List.iter
-    (fun (r : wp_row) ->
-      Exp_common.row ppf r.bench [ r.eds_ipc; r.no_wp_err; r.wp_err ])
-    (wrong_path_compare ());
-  Format.fprintf ppf "-- FIFO squash semantics vs profiled MPKI --@.";
-  Exp_common.row_header ppf "bench" [ "EDS"; "memoized"; "repredict" ];
-  List.iter
-    (fun r -> Exp_common.row ppf r.bench [ r.eds; r.memoized; r.repredict ])
-    (squash_compare ());
-  Format.fprintf ppf "@."
+let reduce _jobs results =
+  let nb = List.length abl_benches in
+  let section_results si = List.init nb (fun bi -> results.((si * nb) + bi)) in
+  let fifo_rows =
+    List.filter_map
+      (function R_fifo r -> Some r | _ -> None)
+      (section_results 0)
+  in
+  let cap_rows =
+    List.filter_map
+      (function R_cap r -> Some r | _ -> None)
+      (section_results 1)
+  in
+  let wp_rows =
+    List.filter_map (function R_wp r -> Some r | _ -> None) (section_results 2)
+  in
+  let squash_rows =
+    List.filter_map
+      (function R_squash r -> Some r | _ -> None)
+      (section_results 3)
+  in
+  let open Runner.Report in
+  {
+    id = "ablation";
+    blocks =
+      [
+        Line "== Ablations (repository addition; not a paper artifact) ==";
+        Line
+          (Printf.sprintf
+             "-- delayed-update FIFO size vs profiled branch MPKI (EDS is \
+              the target; the IFQ size is %d) --"
+             cfg.ifq_size);
+        table ~name:"fifo"
+          ~columns:
+            ("EDS" :: List.map (fun s -> Printf.sprintf "fifo=%d" s) fifo_sizes)
+          (List.map
+             (fun (r : fifo_row) ->
+               (r.bench, nums (r.eds_mpki :: List.map snd r.by_fifo)))
+             fifo_rows);
+        Line "-- dependency-distance cap vs IPC prediction error (%) --";
+        table ~name:"cap"
+          ~columns:(List.map (fun c -> Printf.sprintf "cap=%d" c) dep_caps)
+          (List.map
+             (fun (r : cap_row) -> (r.bench, nums (List.map snd r.by_cap)))
+             cap_rows);
+        Line
+          "-- wrong-path locality charging in the synthetic simulator (IPC \
+           err      %) --";
+        table ~name:"wrong_path"
+          ~columns:[ "IPC.eds"; "paper"; "with-wp" ]
+          (List.map
+             (fun (r : wp_row) ->
+               (r.bench, nums [ r.eds_ipc; r.no_wp_err; r.wp_err ]))
+             wp_rows);
+        Line "-- FIFO squash semantics vs profiled MPKI --";
+        table ~name:"squash"
+          ~columns:[ "EDS"; "memoized"; "repredict" ]
+          (List.map
+             (fun (r : squash_row) ->
+               (r.bench, nums [ r.eds; r.memoized; r.repredict ]))
+             squash_rows);
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

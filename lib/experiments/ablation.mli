@@ -9,19 +9,18 @@
     - {b Dependency-distance cap}. The paper limits distributions to 512
       entries; sweeping 32..512 shows how aggressively truncation can be
       applied before IPC predictions degrade.
+    - {b Wrong-path locality charging}: bounds the impact of the
+      misspeculated-path cache accesses the synthetic simulator omits
+      (Section 2.3's noted limitation).
     - {b Squash semantics} of the FIFO profiler: the paper's literal
       squash-and-repredict vs the memoized-prediction variant matching
       this repository's reference simulator. *)
 
-type fifo_row = { bench : string; eds_mpki : float; by_fifo : (int * float) list }
-
 val fifo_sizes : int list
-val fifo_sweep : unit -> fifo_row list
-
-type cap_row = { bench : string; by_cap : (int * float) list (** cap, IPC err % *) }
-
 val dep_caps : int list
-val cap_sweep : unit -> cap_row list
+
+type fifo_row = { bench : string; eds_mpki : float; by_fifo : (int * float) list }
+type cap_row = { bench : string; by_cap : (int * float) list (** cap, IPC err % *) }
 
 type wp_row = {
   bench : string;
@@ -30,10 +29,6 @@ type wp_row = {
   wp_err : float;  (** with wrong-path locality charging *)
 }
 
-val wrong_path_compare : unit -> wp_row list
-(** Bounds the impact of the misspeculated-path cache accesses the
-    synthetic simulator omits (Section 2.3's noted limitation). *)
-
 type squash_row = {
   bench : string;
   eds : float;
@@ -41,5 +36,4 @@ type squash_row = {
   repredict : float;  (** MPKI under each squash mode *)
 }
 
-val squash_compare : unit -> squash_row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -6,50 +6,60 @@ type row = {
   sfg_err : float;
 }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let stream () = Exp_common.stream spec in
-      let eds = Statsim.reference cfg (stream ()) in
-      let err predicted =
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc ~predicted)
-      in
-      let p = Statsim.profile cfg (stream ()) in
-      let sfg_ipc =
-        (Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-           ~seed:Exp_common.seed)
-          .Statsim.ipc
-      in
-      let hls_ipc =
-        Uarch.Metrics.ipc
-          (Hls.run cfg (stream ()) ~target_length:Exp_common.syn_length
-             ~seed:Exp_common.seed)
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        eds_ipc = eds.Statsim.ipc;
-        analytical_err = err (Analytical.ipc cfg p);
-        hls_err = err hls_ipc;
-        sfg_err = err sfg_ipc;
-      })
-    Exp_common.benches
+let jobs () = Array.of_list Exp_common.benches
 
-let run ppf =
-  Format.fprintf ppf
-    "== Baselines (repo addition): analytical vs HLS vs SFG statistical \
-     simulation (IPC error %%) ==@.";
-  Exp_common.row_header ppf "bench"
-    [ "IPC.eds"; "analytic"; "HLS"; "SFG" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [ r.eds_ipc; r.analytical_err; r.hls_err; r.sfg_err ])
-    rows;
+let exec cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.baseline in
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let err predicted =
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc ~predicted)
+  in
+  let p = Exp_common.profile cache cfg s in
+  let sfg_ipc =
+    (Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+       ~seed:Exp_common.seed)
+      .Statsim.ipc
+  in
+  let hls_ipc =
+    Uarch.Metrics.ipc
+      (Hls.run cfg (Exp_common.src_gen s) ~target_length:Exp_common.syn_length
+         ~seed:Exp_common.seed)
+  in
+  {
+    bench = spec.Workload.Spec.name;
+    eds_ipc = eds.Statsim.ipc;
+    analytical_err = err (Analytical.ipc cfg p);
+    hls_err = err hls_ipc;
+    sfg_err = err sfg_ipc;
+  }
+
+let reduce _jobs results =
+  let rows = Array.to_list results in
   let avg f = Stats.Summary.mean (List.map f rows) in
-  Format.fprintf ppf "avg: analytical %.1f%%  HLS %.1f%%  SFG %.1f%%@.@."
-    (avg (fun r -> r.analytical_err))
-    (avg (fun r -> r.hls_err))
-    (avg (fun r -> r.sfg_err))
+  let open Runner.Report in
+  {
+    id = "baselines";
+    blocks =
+      [
+        Line
+          "== Baselines (repo addition): analytical vs HLS vs SFG \
+           statistical simulation (IPC error %) ==";
+        table ~name:"main"
+          ~columns:[ "IPC.eds"; "analytic"; "HLS"; "SFG" ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums [ r.eds_ipc; r.analytical_err; r.hls_err; r.sfg_err ] ))
+             rows);
+        Line
+          (Printf.sprintf "avg: analytical %.1f%%  HLS %.1f%%  SFG %.1f%%"
+             (avg (fun r -> r.analytical_err))
+             (avg (fun r -> r.hls_err))
+             (avg (fun r -> r.sfg_err)));
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

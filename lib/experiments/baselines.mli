@@ -17,5 +17,4 @@ type row = {
   sfg_err : float;
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -7,41 +7,56 @@ let seeds_per_length = 20
 
 type row = { bench : string; cov : float array }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let p = Statsim.profile cfg (Exp_common.stream spec) in
-      let cov =
-        lengths
-        |> List.map (fun len ->
-               let ipcs =
-                 List.init seeds_per_length (fun i ->
-                     (Statsim.run_profile ~target_length:len cfg p
-                        ~seed:(Exp_common.seed + (1000 * i)))
-                       .Statsim.ipc)
-               in
-               Exp_common.pct (Stats.Summary.cov ipcs))
-        |> Array.of_list
-      in
-      { bench = spec.Workload.Spec.name; cov })
-    Exp_common.benches
+let jobs () =
+  Exp_common.benches
+  |> List.concat_map (fun spec -> List.map (fun len -> (spec, len)) lengths)
+  |> Array.of_list
 
-let run ppf =
-  Format.fprintf ppf
-    "== Section 4.1: IPC coefficient of variation vs synthetic trace \
-     length (%d seeds) ==@."
-    seeds_per_length;
-  Exp_common.row_header ppf "bench"
-    (List.map (fun l -> Printf.sprintf "%dk" (l / 1000)) lengths);
-  let rows = compute () in
-  List.iter (fun r -> Exp_common.row ppf r.bench (Array.to_list r.cov)) rows;
+let exec cache ((spec : Workload.Spec.t), len) =
+  let cfg = Config.Machine.baseline in
+  let p = Exp_common.profile cache cfg (Exp_common.src spec) in
+  let ipcs =
+    List.init seeds_per_length (fun i ->
+        (Statsim.run_profile ~target_length:len cfg p
+           ~seed:(Exp_common.seed + (1000 * i)))
+          .Statsim.ipc)
+  in
+  Exp_common.pct (Stats.Summary.cov ipcs)
+
+let reduce _jobs results =
   let n = List.length lengths in
+  let rows =
+    List.mapi
+      (fun i (spec : Workload.Spec.t) ->
+        {
+          bench = spec.name;
+          cov = Array.init n (fun j -> results.((i * n) + j));
+        })
+      Exp_common.benches
+  in
   let avg =
     Array.init n (fun i ->
         Stats.Summary.mean (List.map (fun r -> r.cov.(i)) rows))
   in
-  Exp_common.row ppf "avg" (Array.to_list avg);
-  Format.fprintf ppf
-    "(paper: CoV shrinks with length — 4%% at 100K down to 1%% at 1M \
-     synthetic instructions)@.@."
+  let open Runner.Report in
+  {
+    id = "cov";
+    blocks =
+      [
+        Line
+          (Printf.sprintf
+             "== Section 4.1: IPC coefficient of variation vs synthetic \
+              trace length (%d seeds) =="
+             seeds_per_length);
+        table ~name:"main"
+          ~columns:(List.map (fun l -> Printf.sprintf "%dk" (l / 1000)) lengths)
+          (List.map (fun r -> (r.bench, nums (Array.to_list r.cov))) rows
+          @ [ ("avg", nums (Array.to_list avg)) ]);
+        Line
+          "(paper: CoV shrinks with length — 4% at 100K down to 1% at 1M \
+           synthetic instructions)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

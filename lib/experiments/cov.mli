@@ -10,5 +10,4 @@ val seeds_per_length : int
 
 type row = { bench : string; cov : float array (** percent, per length *) }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

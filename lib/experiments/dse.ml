@@ -39,77 +39,85 @@ type row = {
 let dse_syn_length = max 8_000 (Exp_common.syn_length / 3)
 let dse_ref_length = max 50_000 (Exp_common.ref_length / 2)
 let max_eds_checks = 12
+let max_benches = 4
 
 let edp_of_metrics cfg (m : Uarch.Metrics.t) =
   let ipc = Uarch.Metrics.ipc m in
   let epc = Power.Model.epc (Power.Model.create cfg) m.activity in
   if ipc > 0.0 then Power.Model.edp ~epc ~ipc else infinity
 
-let compute ?(max_benches = 4) () =
-  let points = grid () in
-  let benches =
-    List.filteri (fun i _ -> i < max_benches) Exp_common.benches
-  in
-  List.map
-    (fun spec ->
-      let stream () = Exp_common.stream ~length:dse_ref_length spec in
-      (* the DSE sweeps only microarchitecture-independent parameters, so
-         one profile and one synthetic trace serve every design point *)
-      let p = Statsim.profile Config.Machine.baseline (stream ()) in
-      let trace =
-        Statsim.synthesize ~target_length:dse_syn_length p
-          ~seed:Exp_common.seed
-      in
-      let evaluated =
-        List.map
-          (fun cfg -> (cfg, edp_of_metrics cfg (Synth.Run.run cfg trace)))
-          points
-      in
-      let best_edp =
-        List.fold_left (fun acc (_, e) -> Float.min acc e) infinity evaluated
-      in
-      let candidates =
-        List.filter (fun (_, e) -> e <= best_edp *. 1.03) evaluated
-        |> List.sort (fun (_, a) (_, b) -> compare a b)
-      in
-      let to_check =
-        List.filteri (fun i _ -> i < max_eds_checks) candidates
-      in
-      let eds_edps =
-        List.map
-          (fun (cfg, _) -> edp_of_metrics cfg (Uarch.Eds.run cfg (stream ())))
-          to_check
-      in
-      let eds_at_ss_opt = List.hd eds_edps in
-      let eds_best = List.fold_left Float.min infinity eds_edps in
-      {
-        bench = spec.Workload.Spec.name;
-        points = List.length points;
-        ss_best_edp = best_edp;
-        candidates = List.length candidates;
-        eds_best_gap =
-          (if eds_best <= 0.0 then 0.0
-           else 100.0 *. ((eds_at_ss_opt /. eds_best) -. 1.0));
-      })
-    benches
+let jobs () =
+  List.filteri (fun i _ -> i < max_benches) Exp_common.benches
+  |> Array.of_list
 
-let run ppf =
-  Format.fprintf ppf
-    "== Section 4.6: design space exploration (EDP over RUU x LSQ x \
-     widths) ==@.";
-  Exp_common.row_header ppf "bench"
-    [ "points"; "ss.edp"; "cand<3%"; "gap%" ];
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [
-          float_of_int r.points;
-          r.ss_best_edp;
-          float_of_int r.candidates;
-          r.eds_best_gap;
-        ])
-    (compute ());
-  Format.fprintf ppf
-    "(gap%% = EDS-measured EDP excess of the SS-chosen optimum over the \
-     best EDS candidate; paper: 0 for 7/10 benchmarks, <=1.24%% \
-     otherwise)@.@."
+let exec cache (spec : Workload.Spec.t) =
+  let points = grid () in
+  let s = Exp_common.src ~length:dse_ref_length spec in
+  (* the DSE sweeps only microarchitecture-independent parameters, so
+     one profile and one synthetic trace serve every design point *)
+  let p = Exp_common.profile cache Config.Machine.baseline s in
+  let trace =
+    Statsim.synthesize ~target_length:dse_syn_length p ~seed:Exp_common.seed
+  in
+  let evaluated =
+    List.map
+      (fun cfg -> (cfg, edp_of_metrics cfg (Synth.Run.run cfg trace)))
+      points
+  in
+  let best_edp =
+    List.fold_left (fun acc (_, e) -> Float.min acc e) infinity evaluated
+  in
+  let candidates =
+    List.filter (fun (_, e) -> e <= best_edp *. 1.03) evaluated
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  let to_check = List.filteri (fun i _ -> i < max_eds_checks) candidates in
+  let eds_edps =
+    List.map
+      (fun (cfg, _) ->
+        edp_of_metrics cfg (Exp_common.reference cache cfg s).Statsim.metrics)
+      to_check
+  in
+  let eds_at_ss_opt = List.hd eds_edps in
+  let eds_best = List.fold_left Float.min infinity eds_edps in
+  {
+    bench = spec.Workload.Spec.name;
+    points = List.length points;
+    ss_best_edp = best_edp;
+    candidates = List.length candidates;
+    eds_best_gap =
+      (if eds_best <= 0.0 then 0.0
+       else 100.0 *. ((eds_at_ss_opt /. eds_best) -. 1.0));
+  }
+
+let reduce _jobs results =
+  let open Runner.Report in
+  {
+    id = "dse";
+    blocks =
+      [
+        Line
+          "== Section 4.6: design space exploration (EDP over RUU x LSQ x \
+           widths) ==";
+        table ~name:"main"
+          ~columns:[ "points"; "ss.edp"; "cand<3%"; "gap%" ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums
+                   [
+                     float_of_int r.points;
+                     r.ss_best_edp;
+                     float_of_int r.candidates;
+                     r.eds_best_gap;
+                   ] ))
+             (Array.to_list results));
+        Line
+          "(gap% = EDS-measured EDP excess of the SS-chosen optimum over the \
+           best EDS candidate; paper: 0 for 7/10 benchmarks, <=1.24% \
+           otherwise)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

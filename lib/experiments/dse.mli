@@ -21,5 +21,4 @@ type row = {
           EDS-best of the candidate region *)
 }
 
-val compute : ?max_benches:int -> unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -44,26 +44,45 @@ let phased_stream spec ~phases ~length =
   in
   next
 
-let col_width = 9
+(* --- stream sources: a value a job can carry that both keys the memo
+   cache and rebuilds a fresh generator on any domain --- *)
 
-let row_header ppf label cols =
-  Format.fprintf ppf "%-9s" label;
-  List.iter (fun c -> Format.fprintf ppf " %*s" col_width c) cols;
-  Format.fprintf ppf "@."
+type src =
+  | Int_src of { name : string; seed_offset : int; length : int }
+  | Fp_src of { name : string; length : int }
+  | Phased_src of { name : string; phases : int; length : int }
 
-let row ppf label values =
-  Format.fprintf ppf "%-9s" label;
-  List.iter
-    (fun v ->
-      if Float.is_integer v && Float.abs v < 1e15 then
-        Format.fprintf ppf " %*d" col_width (int_of_float v)
-      else Format.fprintf ppf " %*.3f" col_width v)
-    values;
-  Format.fprintf ppf "@."
+let src ?(seed_offset = 0) ?(length = ref_length) (spec : Workload.Spec.t) =
+  Int_src { name = spec.name; seed_offset; length }
 
-let row_s ppf label values =
-  Format.fprintf ppf "%-9s" label;
-  List.iter (fun v -> Format.fprintf ppf " %*s" col_width v) values;
-  Format.fprintf ppf "@."
+let fp_src ?(length = ref_length) (spec : Workload.Spec.t) =
+  Fp_src { name = spec.name; length }
+
+let phased_src (spec : Workload.Spec.t) ~phases ~length =
+  Phased_src { name = spec.name; phases; length }
+
+let src_key = function
+  | Int_src { name; seed_offset; length } ->
+    Printf.sprintf "int:%s:o%d:n%d" name seed_offset length
+  | Fp_src { name; length } -> Printf.sprintf "fp:%s:n%d" name length
+  | Phased_src { name; phases; length } ->
+    Printf.sprintf "phased:%s:p%d:n%d" name phases length
+
+let src_gen = function
+  | Int_src { name; seed_offset; length } ->
+    stream ~seed_offset ~length (Workload.Suite.find name)
+  | Fp_src { name; length } ->
+    Workload.Suite_fp.stream (Workload.Suite_fp.find name) ~length
+  | Phased_src { name; phases; length } ->
+    phased_stream (Workload.Suite.find name) ~phases ~length
+
+let reference cache ?max_instructions ?perfect_caches ?perfect_bpred cfg s =
+  Runner.Cache.reference cache ?max_instructions ?perfect_caches
+    ?perfect_bpred cfg ~stream_key:(src_key s) (fun () -> src_gen s)
+
+let profile cache ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
+    s =
+  Runner.Cache.profile cache ?k ?dep_cap ?branch_mode ?perfect_caches
+    ?perfect_bpred cfg ~stream_key:(src_key s) (fun () -> src_gen s)
 
 let pct = Stats.Summary.percent

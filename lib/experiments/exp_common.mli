@@ -1,6 +1,6 @@
 (** Shared experiment infrastructure: workload iteration, stream sizing
-    (scaled by the [REPRO_SCALE] environment variable), and table
-    printing helpers.
+    (scaled by the [REPRO_SCALE] environment variable), and the cached
+    simulation primitives experiment jobs are built from.
 
     The paper profiles 100M-instruction SimPoint samples; this
     reproduction defaults to 300k-instruction reference streams and
@@ -38,10 +38,53 @@ val phased_stream :
     seed, so hot paths, branch biases and footprints shift between
     phases — the setting of the paper's Section 4.4. *)
 
-(** Table printing: fixed-width columns with a header. *)
+(** {1 Stream sources}
 
-val row_header : Format.formatter -> string -> string list -> unit
-val row : Format.formatter -> string -> float list -> unit
-val row_s : Format.formatter -> string -> string list -> unit
+    A [src] names an instruction stream by content — suite, workload,
+    seed offset, length, phasing. It is what experiment jobs carry: it
+    keys the run-wide memo cache and rebuilds a fresh generator on
+    whichever domain executes the job. *)
+
+type src
+
+val src : ?seed_offset:int -> ?length:int -> Workload.Spec.t -> src
+(** A {!Workload.Suite} (SPECint stand-in) stream; defaults to
+    [seed_offset = 0] and [length = ref_length]. *)
+
+val fp_src : ?length:int -> Workload.Spec.t -> src
+(** A {!Workload.Suite_fp} stream. *)
+
+val phased_src : Workload.Spec.t -> phases:int -> length:int -> src
+(** A {!phased_stream}. *)
+
+val src_key : src -> string
+val src_gen : src -> unit -> Isa.Dyn_inst.t option
+
+(** {1 Cached simulation primitives}
+
+    Memoized via {!Runner.Cache}: a given (stream, config, options)
+    reference or profile is computed once per harness run and shared
+    across jobs and experiments. *)
+
+val reference :
+  Runner.Cache.t ->
+  ?max_instructions:int ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  src ->
+  Statsim.result
+
+val profile :
+  Runner.Cache.t ->
+  ?k:int ->
+  ?dep_cap:int ->
+  ?branch_mode:Profile.Branch_profiler.mode ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  src ->
+  Profile.Stat_profile.t
+
 val pct : float -> float
 (** ratio -> percent *)

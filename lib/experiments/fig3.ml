@@ -5,33 +5,57 @@ type row = {
   delayed : float;
 }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let eds = Uarch.Eds.run cfg (Exp_common.stream spec) in
-      let prof mode =
-        Profile.Stat_profile.collect ~branch_mode:mode cfg
-          (Exp_common.stream spec)
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        eds = Uarch.Metrics.mpki eds;
-        immediate =
-          Profile.Stat_profile.mpki (prof Profile.Branch_profiler.Immediate);
-        delayed =
-          Profile.Stat_profile.mpki
-            (prof (Profile.Branch_profiler.default_delayed cfg));
-      })
-    Exp_common.benches
+type method_ = Eds | Immediate | Delayed
 
-let run ppf =
-  Format.fprintf ppf
-    "== Figure 3: branch MPKI — EDS vs immediate vs delayed profiling ==@.";
-  Exp_common.row_header ppf "bench" [ "EDS"; "immediate"; "delayed" ];
-  List.iter
-    (fun r -> Exp_common.row ppf r.bench [ r.eds; r.immediate; r.delayed ])
-    (compute ());
-  Format.fprintf ppf
-    "(expect: delayed ~= EDS; immediate underestimates on \
-     pattern/loop-heavy benchmarks)@.@."
+let methods = [ Eds; Immediate; Delayed ]
+
+let jobs () =
+  Exp_common.benches
+  |> List.concat_map (fun spec -> List.map (fun m -> (spec, m)) methods)
+  |> Array.of_list
+
+let exec cache ((spec : Workload.Spec.t), m) =
+  let cfg = Config.Machine.baseline in
+  let s = Exp_common.src spec in
+  match m with
+  | Eds ->
+    Uarch.Metrics.mpki (Exp_common.reference cache cfg s).Statsim.metrics
+  | Immediate ->
+    Profile.Stat_profile.mpki
+      (Exp_common.profile cache ~branch_mode:Profile.Branch_profiler.Immediate
+         cfg s)
+  | Delayed ->
+    Profile.Stat_profile.mpki
+      (Exp_common.profile cache
+         ~branch_mode:(Profile.Branch_profiler.default_delayed cfg)
+         cfg s)
+
+let reduce _jobs results =
+  let rows =
+    List.mapi
+      (fun i (spec : Workload.Spec.t) ->
+        let at m = results.((i * List.length methods) + m) in
+        { bench = spec.name; eds = at 0; immediate = at 1; delayed = at 2 })
+      Exp_common.benches
+  in
+  let open Runner.Report in
+  {
+    id = "fig3";
+    blocks =
+      [
+        Line
+          "== Figure 3: branch MPKI — EDS vs immediate vs delayed profiling \
+           ==";
+        table ~name:"main"
+          ~columns:[ "EDS"; "immediate"; "delayed" ]
+          (List.map
+             (fun r -> (r.bench, nums [ r.eds; r.immediate; r.delayed ]))
+             rows);
+        Line
+          "(expect: delayed ~= EDS; immediate underestimates on \
+           pattern/loop-heavy benchmarks)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

@@ -7,8 +7,7 @@ type row = { bench : string; eds_ipc : float; errors : float array (** k=0..3, p
 
 val ks : int list
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
-
 val average : row list -> float array
 (** Mean error per k, in percent. *)
+
+val plan : Runner.Plan.t

@@ -1,43 +1,66 @@
 type row = { bench : string; immediate : float; delayed : float }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let eds =
-        Statsim.reference ~perfect_caches:true cfg (Exp_common.stream spec)
-      in
-      let err mode =
-        let p =
-          Statsim.profile ~branch_mode:mode ~perfect_caches:true cfg
-            (Exp_common.stream spec)
-        in
-        let ss =
-          Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-            ~seed:Exp_common.seed
-        in
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-             ~predicted:ss.Statsim.ipc)
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        immediate = err Profile.Branch_profiler.Immediate;
-        delayed = err (Profile.Branch_profiler.default_delayed cfg);
-      })
-    Exp_common.benches
+type method_ = Immediate | Delayed
 
-let run ppf =
-  Format.fprintf ppf
-    "== Figure 5: IPC error (%%) — immediate vs delayed branch profiling \
-     (perfect caches) ==@.";
-  Exp_common.row_header ppf "bench" [ "immediate"; "delayed" ];
-  let rows = compute () in
-  List.iter (fun r -> Exp_common.row ppf r.bench [ r.immediate; r.delayed ]) rows;
-  Exp_common.row ppf "avg"
-    [
-      Stats.Summary.mean (List.map (fun r -> r.immediate) rows);
-      Stats.Summary.mean (List.map (fun r -> r.delayed) rows);
-    ];
-  Format.fprintf ppf
-    "(paper: delayed-update profiling significantly improves accuracy)@.@."
+let jobs () =
+  Exp_common.benches
+  |> List.concat_map (fun spec ->
+         [ (spec, Immediate); (spec, Delayed) ])
+  |> Array.of_list
+
+let exec cache ((spec : Workload.Spec.t), m) =
+  let cfg = Config.Machine.baseline in
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache ~perfect_caches:true cfg s in
+  let mode =
+    match m with
+    | Immediate -> Profile.Branch_profiler.Immediate
+    | Delayed -> Profile.Branch_profiler.default_delayed cfg
+  in
+  let p = Exp_common.profile cache ~branch_mode:mode ~perfect_caches:true cfg s in
+  let ss =
+    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+      ~seed:Exp_common.seed
+  in
+  Exp_common.pct
+    (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+       ~predicted:ss.Statsim.ipc)
+
+let reduce _jobs results =
+  let rows =
+    List.mapi
+      (fun i (spec : Workload.Spec.t) ->
+        {
+          bench = spec.name;
+          immediate = results.(i * 2);
+          delayed = results.((i * 2) + 1);
+        })
+      Exp_common.benches
+  in
+  let open Runner.Report in
+  {
+    id = "fig5";
+    blocks =
+      [
+        Line
+          "== Figure 5: IPC error (%) — immediate vs delayed branch \
+           profiling (perfect caches) ==";
+        table ~name:"main"
+          ~columns:[ "immediate"; "delayed" ]
+          (List.map
+             (fun r -> (r.bench, nums [ r.immediate; r.delayed ]))
+             rows
+          @ [
+              ( "avg",
+                nums
+                  [
+                    Stats.Summary.mean (List.map (fun r -> r.immediate) rows);
+                    Stats.Summary.mean (List.map (fun r -> r.delayed) rows);
+                  ] );
+            ]);
+        Line "(paper: delayed-update profiling significantly improves accuracy)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

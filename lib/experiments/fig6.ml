@@ -7,53 +7,67 @@ type row = {
   edp_err : float;
 }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let eds = Statsim.reference cfg (Exp_common.stream spec) in
-      let ss =
-        Statsim.run cfg (Exp_common.stream spec)
-          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
-      in
-      let err f =
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        eds;
-        ss;
-        ipc_err = err (fun r -> r.Statsim.ipc);
-        epc_err = err (fun r -> r.Statsim.epc);
-        edp_err = err (fun r -> r.Statsim.edp);
-      })
-    Exp_common.benches
+let jobs () = Array.of_list Exp_common.benches
 
-let run ppf =
-  Format.fprintf ppf
-    "== Figure 6: absolute accuracy — IPC and EPC, EDS vs statistical \
-     simulation ==@.";
-  Exp_common.row_header ppf "bench"
-    [ "IPC.eds"; "IPC.ss"; "err%"; "EPC.eds"; "EPC.ss"; "err%"; "EDPerr%" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [
-          r.eds.Statsim.ipc;
-          r.ss.Statsim.ipc;
-          r.ipc_err;
-          r.eds.epc;
-          r.ss.epc;
-          r.epc_err;
-          r.edp_err;
-        ])
-    rows;
+let exec cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.baseline in
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let p = Exp_common.profile cache cfg s in
+  let ss =
+    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+      ~seed:Exp_common.seed
+  in
+  let err f =
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
+  in
+  {
+    bench = spec.Workload.Spec.name;
+    eds;
+    ss;
+    ipc_err = err (fun r -> r.Statsim.ipc);
+    epc_err = err (fun r -> r.Statsim.epc);
+    edp_err = err (fun r -> r.Statsim.edp);
+  }
+
+let reduce _jobs results =
+  let rows = Array.to_list results in
   let avg f = Stats.Summary.mean (List.map f rows) in
-  Format.fprintf ppf
-    "avg errors: IPC %.1f%%  EPC %.1f%%  EDP %.1f%%  (paper: 6.6%% / 4%% / \
-     11%%)@.@."
-    (avg (fun r -> r.ipc_err))
-    (avg (fun r -> r.epc_err))
-    (avg (fun r -> r.edp_err))
+  let open Runner.Report in
+  {
+    id = "fig6";
+    blocks =
+      [
+        Line
+          "== Figure 6: absolute accuracy — IPC and EPC, EDS vs statistical \
+           simulation ==";
+        table ~name:"main"
+          ~columns:
+            [ "IPC.eds"; "IPC.ss"; "err%"; "EPC.eds"; "EPC.ss"; "err%"; "EDPerr%" ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums
+                   [
+                     r.eds.Statsim.ipc;
+                     r.ss.Statsim.ipc;
+                     r.ipc_err;
+                     r.eds.epc;
+                     r.ss.epc;
+                     r.epc_err;
+                     r.edp_err;
+                   ] ))
+             rows);
+        Line
+          (Printf.sprintf
+             "avg errors: IPC %.1f%%  EPC %.1f%%  EDP %.1f%%  (paper: 6.6%% \
+              / 4%% / 11%%)"
+             (avg (fun r -> r.ipc_err))
+             (avg (fun r -> r.epc_err))
+             (avg (fun r -> r.edp_err)));
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

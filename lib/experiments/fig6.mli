@@ -14,5 +14,4 @@ type row = {
   edp_err : float;
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

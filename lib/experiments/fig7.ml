@@ -1,40 +1,54 @@
 type row = { bench : string; hls_err : float; smart_err : float }
 
-let compute () =
-  let cfg = Config.Machine.hls_baseline in
-  List.map
-    (fun spec ->
-      let eds = Statsim.reference cfg (Exp_common.stream spec) in
-      let hls_m =
-        Hls.run cfg (Exp_common.stream spec)
-          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
-      in
-      let smart =
-        Statsim.run cfg (Exp_common.stream spec)
-          ~target_length:Exp_common.syn_length ~seed:Exp_common.seed
-      in
-      let err ipc =
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-             ~predicted:ipc)
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        hls_err = err (Uarch.Metrics.ipc hls_m);
-        smart_err = err smart.Statsim.ipc;
-      })
-    Exp_common.benches
+let jobs () = Array.of_list Exp_common.benches
 
-let run ppf =
-  Format.fprintf ppf
-    "== Figure 7: IPC error (%%) — HLS vs SMART-HLS (SimpleScalar default \
-     config) ==@.";
-  Exp_common.row_header ppf "bench" [ "HLS"; "SMART-HLS" ];
-  let rows = compute () in
-  List.iter (fun r -> Exp_common.row ppf r.bench [ r.hls_err; r.smart_err ]) rows;
-  Exp_common.row ppf "avg"
-    [
-      Stats.Summary.mean (List.map (fun r -> r.hls_err) rows);
-      Stats.Summary.mean (List.map (fun r -> r.smart_err) rows);
-    ];
-  Format.fprintf ppf "(paper: HLS 10.1%% avg vs SMART-HLS 1.8%% avg)@.@."
+let exec cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.hls_baseline in
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let hls_m =
+    Hls.run cfg (Exp_common.src_gen s) ~target_length:Exp_common.syn_length
+      ~seed:Exp_common.seed
+  in
+  let p = Exp_common.profile cache cfg s in
+  let smart =
+    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+      ~seed:Exp_common.seed
+  in
+  let err ipc =
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc ~predicted:ipc)
+  in
+  {
+    bench = spec.Workload.Spec.name;
+    hls_err = err (Uarch.Metrics.ipc hls_m);
+    smart_err = err smart.Statsim.ipc;
+  }
+
+let reduce _jobs results =
+  let rows = Array.to_list results in
+  let open Runner.Report in
+  {
+    id = "fig7";
+    blocks =
+      [
+        Line
+          "== Figure 7: IPC error (%) — HLS vs SMART-HLS (SimpleScalar \
+           default config) ==";
+        table ~name:"main"
+          ~columns:[ "HLS"; "SMART-HLS" ]
+          (List.map (fun r -> (r.bench, nums [ r.hls_err; r.smart_err ])) rows
+          @ [
+              ( "avg",
+                nums
+                  [
+                    Stats.Summary.mean (List.map (fun r -> r.hls_err) rows);
+                    Stats.Summary.mean (List.map (fun r -> r.smart_err) rows);
+                  ] );
+            ]);
+        Line "(paper: HLS 10.1% avg vs SMART-HLS 1.8% avg)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

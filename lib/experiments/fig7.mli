@@ -5,5 +5,4 @@
 
 type row = { bench : string; hls_err : float; smart_err : float (** percent *) }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -30,74 +30,87 @@ let ss_chunked cfg make_stream ~total_length ~chunks ~syn_per_chunk =
   in
   Synth.Run.mean_ipc metrics
 
-let compute () =
+let jobs () = Array.of_list Exp_common.benches
+
+let exec cache (spec : Workload.Spec.t) =
   let cfg = Config.Machine.baseline in
   let total = Exp_common.ref_length * 4 in
-  List.map
-    (fun spec ->
-      let make_stream () =
-        Exp_common.phased_stream spec ~phases ~length:total
-      in
-      let eds = Uarch.Eds.run cfg (make_stream ()) in
-      let eds_ipc = Uarch.Metrics.ipc eds in
-      let err ipc =
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds_ipc ~predicted:ipc)
-      in
-      let whole =
-        ss_chunked cfg make_stream ~total_length:total ~chunks:1
-          ~syn_per_chunk:Exp_common.syn_length
-      in
-      let per_phase =
-        ss_chunked cfg make_stream ~total_length:total ~chunks:phases
-          ~syn_per_chunk:(max 2_000 (Exp_common.syn_length / phases))
-      in
-      let per_sample =
-        ss_chunked cfg make_stream ~total_length:total ~chunks:samples
-          ~syn_per_chunk:(max 4_000 (Exp_common.syn_length / samples))
-      in
-      (* warm-checkpoint measurement: at this reproduction's scale the
-         L2's cold-start horizon exceeds any affordable per-pick warmup
-         (the paper's 10M+ instruction intervals make warmup negligible),
-         so representatives are measured inside one warm run *)
-      let sp = Simpoint.analyze ~interval:(total / 50) (make_stream ()) in
-      let sp_ipc = Simpoint.simulate_warm cfg sp ~stream_factory:make_stream in
-      {
-        bench = spec.Workload.Spec.name;
-        eds_ipc;
-        whole_err = err whole;
-        per_phase_err = err per_phase;
-        per_sample_err = err per_sample;
-        simpoint_err = err sp_ipc;
-        simpoint_insts = Simpoint.simulated_instructions sp;
-      })
-    Exp_common.benches
+  let s = Exp_common.phased_src spec ~phases ~length:total in
+  let make_stream () = Exp_common.src_gen s in
+  let eds_ipc = (Exp_common.reference cache cfg s).Statsim.ipc in
+  let err ipc =
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:eds_ipc ~predicted:ipc)
+  in
+  let whole =
+    ss_chunked cfg make_stream ~total_length:total ~chunks:1
+      ~syn_per_chunk:Exp_common.syn_length
+  in
+  let per_phase =
+    ss_chunked cfg make_stream ~total_length:total ~chunks:phases
+      ~syn_per_chunk:(max 2_000 (Exp_common.syn_length / phases))
+  in
+  let per_sample =
+    ss_chunked cfg make_stream ~total_length:total ~chunks:samples
+      ~syn_per_chunk:(max 4_000 (Exp_common.syn_length / samples))
+  in
+  (* warm-checkpoint measurement: at this reproduction's scale the
+     L2's cold-start horizon exceeds any affordable per-pick warmup
+     (the paper's 10M+ instruction intervals make warmup negligible),
+     so representatives are measured inside one warm run *)
+  let sp = Simpoint.analyze ~interval:(total / 50) (make_stream ()) in
+  let sp_ipc = Simpoint.simulate_warm cfg sp ~stream_factory:make_stream in
+  {
+    bench = spec.Workload.Spec.name;
+    eds_ipc;
+    whole_err = err whole;
+    per_phase_err = err per_phase;
+    per_sample_err = err per_sample;
+    simpoint_err = err sp_ipc;
+    simpoint_insts = Simpoint.simulated_instructions sp;
+  }
 
-let run ppf =
-  Format.fprintf ppf
-    "== Figure 8: program phases — statistical simulation vs SimPoint \
-     (IPC error %%) ==@.";
-  Exp_common.row_header ppf "bench"
-    [ "IPC.eds"; "1profile"; "perphase"; "persample"; "simpoint"; "sp.insts" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [
-          r.eds_ipc;
-          r.whole_err;
-          r.per_phase_err;
-          r.per_sample_err;
-          r.simpoint_err;
-          float_of_int r.simpoint_insts;
-        ])
-    rows;
+let reduce _jobs results =
+  let rows = Array.to_list results in
   let avg f = Stats.Summary.mean (List.map f rows) in
-  Format.fprintf ppf
-    "avg: 1profile %.1f%%  perphase %.1f%%  persample %.1f%%  simpoint \
-     %.1f%%  (paper: statsim 7.2%%, SimPoint 2%% but with >>20x more \
-     detailed simulation)@.@."
-    (avg (fun r -> r.whole_err))
-    (avg (fun r -> r.per_phase_err))
-    (avg (fun r -> r.per_sample_err))
-    (avg (fun r -> r.simpoint_err))
+  let open Runner.Report in
+  {
+    id = "fig8";
+    blocks =
+      [
+        Line
+          "== Figure 8: program phases — statistical simulation vs SimPoint \
+           (IPC error %) ==";
+        table ~name:"main"
+          ~columns:
+            [
+              "IPC.eds"; "1profile"; "perphase"; "persample"; "simpoint";
+              "sp.insts";
+            ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums
+                   [
+                     r.eds_ipc;
+                     r.whole_err;
+                     r.per_phase_err;
+                     r.per_sample_err;
+                     r.simpoint_err;
+                     float_of_int r.simpoint_insts;
+                   ] ))
+             rows);
+        Line
+          (Printf.sprintf
+             "avg: 1profile %.1f%%  perphase %.1f%%  persample %.1f%%  \
+              simpoint %.1f%%  (paper: statsim 7.2%%, SimPoint 2%% but with \
+              >>20x more detailed simulation)"
+             (avg (fun r -> r.whole_err))
+             (avg (fun r -> r.per_phase_err))
+             (avg (fun r -> r.per_sample_err))
+             (avg (fun r -> r.simpoint_err)));
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

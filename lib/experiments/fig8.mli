@@ -25,5 +25,4 @@ type row = {
   simpoint_insts : int;  (** detailed-simulation budget SimPoint used *)
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

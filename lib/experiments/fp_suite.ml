@@ -5,39 +5,48 @@ type row = {
   epc_err : float;
 }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let stream () =
-        Workload.Suite_fp.stream spec ~length:Exp_common.ref_length
-      in
-      let eds = Statsim.reference cfg (stream ()) in
-      let ss =
-        Statsim.run cfg (stream ()) ~target_length:Exp_common.syn_length
-          ~seed:Exp_common.seed
-      in
-      let err f =
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
-      in
-      {
-        bench = spec.Workload.Spec.name;
-        eds_ipc = eds.Statsim.ipc;
-        ipc_err = err (fun r -> r.Statsim.ipc);
-        epc_err = err (fun r -> r.Statsim.epc);
-      })
-    Workload.Suite_fp.all
+let jobs () = Array.of_list Workload.Suite_fp.all
 
-let run ppf =
-  Format.fprintf ppf
-    "== Floating-point workloads (repo addition): absolute accuracy ==@.";
-  Exp_common.row_header ppf "bench" [ "IPC.eds"; "IPCerr%"; "EPCerr%" ];
-  let rows = compute () in
-  List.iter
-    (fun r -> Exp_common.row ppf r.bench [ r.eds_ipc; r.ipc_err; r.epc_err ])
-    rows;
+let exec cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.baseline in
+  let s = Exp_common.fp_src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let p = Exp_common.profile cache cfg s in
+  let ss =
+    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+      ~seed:Exp_common.seed
+  in
+  let err f =
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:(f eds) ~predicted:(f ss))
+  in
+  {
+    bench = spec.Workload.Spec.name;
+    eds_ipc = eds.Statsim.ipc;
+    ipc_err = err (fun r -> r.Statsim.ipc);
+    epc_err = err (fun r -> r.Statsim.epc);
+  }
+
+let reduce _jobs results =
+  let rows = Array.to_list results in
   let avg f = Stats.Summary.mean (List.map f rows) in
-  Format.fprintf ppf "avg: IPC %.1f%%  EPC %.1f%%@.@."
-    (avg (fun r -> r.ipc_err))
-    (avg (fun r -> r.epc_err))
+  let open Runner.Report in
+  {
+    id = "fp";
+    blocks =
+      [
+        Line "== Floating-point workloads (repo addition): absolute accuracy ==";
+        table ~name:"main"
+          ~columns:[ "IPC.eds"; "IPCerr%"; "EPCerr%" ]
+          (List.map
+             (fun r -> (r.bench, nums [ r.eds_ipc; r.ipc_err; r.epc_err ]))
+             rows);
+        Line
+          (Printf.sprintf "avg: IPC %.1f%%  EPC %.1f%%"
+             (avg (fun r -> r.ipc_err))
+             (avg (fun r -> r.epc_err)));
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

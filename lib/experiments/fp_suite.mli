@@ -11,5 +11,4 @@ type row = {
   epc_err : float;
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

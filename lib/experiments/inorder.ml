@@ -5,47 +5,58 @@ type row = {
   extended_err : float;
 }
 
-let compute () =
+let jobs () = Array.of_list Exp_common.benches
+
+let exec cache (spec : Workload.Spec.t) =
   let ooo = Config.Machine.baseline in
   let cfg = Config.Machine.in_order_variant ooo in
-  List.map
-    (fun spec ->
-      let stream () = Exp_common.stream spec in
-      let eds = Statsim.reference cfg (stream ()) in
-      let err p =
-        let ss =
-          Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-            ~seed:Exp_common.seed
-        in
-        Exp_common.pct
-          (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-             ~predicted:ss.Statsim.ipc)
-      in
-      (* profiling with the out-of-order config records RAW only; the
-         in-order config also records WAW/WAR *)
-      let raw_only = Statsim.profile ooo (stream ()) in
-      let extended = Statsim.profile cfg (stream ()) in
-      {
-        bench = spec.Workload.Spec.name;
-        eds_ipc = eds.Statsim.ipc;
-        raw_only_err = err raw_only;
-        extended_err = err extended;
-      })
-    Exp_common.benches
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let err p =
+    let ss =
+      Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+        ~seed:Exp_common.seed
+    in
+    Exp_common.pct
+      (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+         ~predicted:ss.Statsim.ipc)
+  in
+  (* profiling with the out-of-order config records RAW only; the
+     in-order config also records WAW/WAR *)
+  let raw_only = Exp_common.profile cache ooo s in
+  let extended = Exp_common.profile cache cfg s in
+  {
+    bench = spec.Workload.Spec.name;
+    eds_ipc = eds.Statsim.ipc;
+    raw_only_err = err raw_only;
+    extended_err = err extended;
+  }
 
-let run ppf =
-  Format.fprintf ppf
-    "== In-order extension (Section 2.1.1's future work; repo addition): \
-     WAW/WAR modeling ==@.";
-  Exp_common.row_header ppf "bench" [ "IPC.eds"; "RAWonly%"; "extended%" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench [ r.eds_ipc; r.raw_only_err; r.extended_err ])
-    rows;
+let reduce _jobs results =
+  let rows = Array.to_list results in
   let avg f = Stats.Summary.mean (List.map f rows) in
-  Format.fprintf ppf
-    "avg: RAW-only %.1f%%, with WAW/WAR %.1f%% — anti/output dependencies \
-     matter once renaming is gone@.@."
-    (avg (fun r -> r.raw_only_err))
-    (avg (fun r -> r.extended_err))
+  let open Runner.Report in
+  {
+    id = "inorder";
+    blocks =
+      [
+        Line
+          "== In-order extension (Section 2.1.1's future work; repo \
+           addition): WAW/WAR modeling ==";
+        table ~name:"main"
+          ~columns:[ "IPC.eds"; "RAWonly%"; "extended%" ]
+          (List.map
+             (fun r ->
+               (r.bench, nums [ r.eds_ipc; r.raw_only_err; r.extended_err ]))
+             rows);
+        Line
+          (Printf.sprintf
+             "avg: RAW-only %.1f%%, with WAW/WAR %.1f%% — anti/output \
+              dependencies matter once renaming is gone"
+             (avg (fun r -> r.raw_only_err))
+             (avg (fun r -> r.extended_err)));
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

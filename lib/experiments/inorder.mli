@@ -16,5 +16,4 @@ type row = {
   extended_err : float;
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -17,52 +17,72 @@ let kinds =
    matters *)
 let benches = [ "gzip"; "parser"; "twolf"; "vortex" ]
 
-let compute () =
-  List.concat_map
-    (fun name ->
-      let spec = Workload.Suite.find name in
-      List.map
-        (fun (kname, kind) ->
-          let cfg = Config.Machine.(with_predictor baseline kind) in
-          let stream () = Exp_common.stream spec in
-          let eds = Statsim.reference cfg (stream ()) in
-          let ss =
-            Statsim.run cfg (stream ()) ~target_length:Exp_common.syn_length
-              ~seed:Exp_common.seed
-          in
-          {
-            bench = name;
-            kind = kname;
-            eds_ipc = eds.Statsim.ipc;
-            eds_mpki = Uarch.Metrics.mpki eds.metrics;
-            ipc_err =
-              Exp_common.pct
-                (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
-                   ~predicted:ss.Statsim.ipc);
-          })
-        kinds)
-    benches
+let jobs () =
+  benches
+  |> List.concat_map (fun name ->
+         List.map (fun (kname, kind) -> (name, kname, kind)) kinds)
+  |> Array.of_list
 
-let run ppf =
-  Format.fprintf ppf
-    "== Predictor robustness (repo addition): accuracy across predictor \
-     designs ==@.";
-  Exp_common.row_header ppf "bench" [ "kind"; "IPC.eds"; "MPKI.eds"; "err%" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Format.fprintf ppf "%-9s %9s %9.3f %9.2f %9.1f@." r.bench r.kind
-        r.eds_ipc r.eds_mpki r.ipc_err)
-    rows;
-  List.iter
-    (fun (kname, _) ->
-      let errs =
-        List.filter_map
-          (fun r -> if r.kind = kname then Some r.ipc_err else None)
-          rows
-      in
-      Format.fprintf ppf "avg %s: %.1f%%@." kname (Stats.Summary.mean errs))
-    kinds;
-  Format.fprintf ppf
-    "(the profile re-measures branch probabilities per predictor, so \
-     accuracy should hold for all three)@.@."
+let exec cache (name, kname, kind) =
+  let spec = Workload.Suite.find name in
+  let cfg = Config.Machine.(with_predictor baseline kind) in
+  let s = Exp_common.src spec in
+  let eds = Exp_common.reference cache cfg s in
+  let p = Exp_common.profile cache cfg s in
+  let ss =
+    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
+      ~seed:Exp_common.seed
+  in
+  {
+    bench = name;
+    kind = kname;
+    eds_ipc = eds.Statsim.ipc;
+    eds_mpki = Uarch.Metrics.mpki eds.metrics;
+    ipc_err =
+      Exp_common.pct
+        (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc
+           ~predicted:ss.Statsim.ipc);
+  }
+
+let reduce _jobs results =
+  let rows = Array.to_list results in
+  let open Runner.Report in
+  {
+    id = "predictors";
+    blocks =
+      ([
+         Line
+           "== Predictor robustness (repo addition): accuracy across \
+            predictor designs ==";
+         table ~name:"main"
+           ~columns:[ "kind"; "IPC.eds"; "MPKI.eds"; "err%" ]
+           (List.map
+              (fun r ->
+                ( r.bench,
+                  [
+                    Str r.kind;
+                    Fixed (r.eds_ipc, 3);
+                    Fixed (r.eds_mpki, 2);
+                    Fixed (r.ipc_err, 1);
+                  ] ))
+              rows);
+       ]
+      @ List.map
+          (fun (kname, _) ->
+            let errs =
+              List.filter_map
+                (fun r -> if r.kind = kname then Some r.ipc_err else None)
+                rows
+            in
+            Line
+              (Printf.sprintf "avg %s: %.1f%%" kname (Stats.Summary.mean errs)))
+          kinds
+      @ [
+          Line
+            "(the profile re-measures branch probabilities per predictor, so \
+             accuracy should hold for all three)";
+          Line "";
+        ]);
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

@@ -14,5 +14,5 @@ type row = {
 }
 
 val kinds : (string * Config.Machine.predictor_kind) list
-val compute : unit -> row list
-val run : Format.formatter -> unit
+
+val plan : Runner.Plan.t

@@ -1,7 +1,7 @@
 type entry = {
   id : string;
   description : string;
-  run : Format.formatter -> unit;
+  plan : Runner.Plan.t;
 }
 
 let all =
@@ -9,87 +9,87 @@ let all =
     {
       id = "table1";
       description = "Table 1: benchmarks and baseline IPC";
-      run = Table1.run;
+      plan = Table1.plan;
     };
     {
       id = "fig3";
       description = "Figure 3: branch MPKI under EDS / immediate / delayed profiling";
-      run = Fig3.run;
+      plan = Fig3.plan;
     };
     {
       id = "fig4";
       description = "Figure 4: IPC error vs SFG order k (perfect caches & bpred)";
-      run = Fig4.run;
+      plan = Fig4.plan;
     };
     {
       id = "table3";
       description = "Table 3: SFG node counts vs k";
-      run = Table3.run;
+      plan = Table3.plan;
     };
     {
       id = "fig5";
       description = "Figure 5: immediate vs delayed branch profiling accuracy";
-      run = Fig5.run;
+      plan = Fig5.plan;
     };
     {
       id = "fig6";
       description = "Figure 6: absolute IPC/EPC accuracy (+ EDP, Section 4.2.3)";
-      run = Fig6.run;
+      plan = Fig6.plan;
     };
     {
       id = "cov";
       description = "Section 4.1: IPC CoV vs synthetic trace length";
-      run = Cov.run;
+      plan = Cov.plan;
     };
     {
       id = "fig7";
       description = "Figure 7: HLS vs SMART-HLS";
-      run = Fig7.run;
+      plan = Fig7.plan;
     };
     {
       id = "fig8";
       description = "Figure 8: program phases and SimPoint comparison";
-      run = Fig8.run;
+      plan = Fig8.plan;
     };
     {
       id = "table4";
       description = "Table 4: relative accuracy across design-point steps";
-      run = Table4.run;
+      plan = Table4.plan;
     };
     {
       id = "dse";
       description = "Section 4.6: EDP design space exploration";
-      run = Dse.run;
+      plan = Dse.plan;
     };
     {
       id = "inorder";
       description = "In-order + WAW/WAR extension (Section 2.1.1 future work; repo addition)";
-      run = Inorder.run;
+      plan = Inorder.plan;
     };
     {
       id = "fp";
       description = "Floating-point workload accuracy (repo addition)";
-      run = Fp_suite.run;
+      plan = Fp_suite.plan;
     };
     {
       id = "baselines";
       description = "Analytical vs HLS vs SFG accuracy (repo addition)";
-      run = Baselines.run;
+      plan = Baselines.plan;
     };
     {
       id = "predictors";
       description = "Predictor-design robustness: hybrid vs gshare vs bimodal (repo addition)";
-      run = Predictors.run;
+      plan = Predictors.plan;
     };
     {
       id = "ablation";
       description = "Ablations: FIFO size, dependency cap, squash semantics (repo addition)";
-      run = Ablation.run;
+      plan = Ablation.plan;
     };
     {
       id = "speed";
       description = "Section 4.1: simulation speed and speedups";
-      run = Speed.run;
+      plan = Speed.plan;
     };
   ]
 

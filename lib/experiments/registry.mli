@@ -1,9 +1,13 @@
-(** Name -> experiment dispatch, shared by the bench harness and the CLI. *)
+(** Name -> experiment dispatch, shared by the bench harness and the CLI.
+
+    Each entry is a declarative {!Runner.Plan}: the harness executes its
+    jobs on a {!Runner.Exec.ctx} (worker pool + memo cache) and renders
+    the resulting {!Runner.Report} as text, CSV or JSON. *)
 
 type entry = {
   id : string;
   description : string;
-  run : Format.formatter -> unit;
+  plan : Runner.Plan.t;
 }
 
 val all : entry list

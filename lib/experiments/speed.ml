@@ -13,53 +13,64 @@ let time f =
   let r = f () in
   (r, Sys.time () -. t0)
 
-let compute ?benches () =
-  let cfg = Config.Machine.baseline in
-  let benches = Option.value benches ~default:Exp_common.benches in
-  List.map
-    (fun spec ->
-      let stream () = Exp_common.stream spec in
-      let _, eds_seconds = time (fun () -> Uarch.Eds.run cfg (stream ())) in
-      let p, profile_seconds = time (fun () -> Statsim.profile cfg (stream ())) in
-      let trace, generate_seconds =
-        time (fun () ->
-            Statsim.synthesize ~target_length:Exp_common.syn_length p
-              ~seed:Exp_common.seed)
-      in
-      let _, ss_seconds = time (fun () -> Synth.Run.run cfg trace) in
-      {
-        bench = spec.Workload.Spec.name;
-        eds_seconds;
-        profile_seconds;
-        generate_seconds;
-        ss_seconds;
-        speedup_per_run = eds_seconds /. Float.max 1e-9 ss_seconds;
-        reduction = trace.Synth.Trace.reduction;
-      })
-    benches
+let jobs () = Array.of_list Exp_common.benches
 
-let run ppf =
-  Format.fprintf ppf
-    "== Section 4.1: simulation speed (wall-clock, %d-instruction \
-     reference streams) ==@."
-    Exp_common.ref_length;
-  Exp_common.row_header ppf "bench"
-    [ "eds.s"; "prof.s"; "gen.s"; "ss.s"; "speedup"; "R" ];
-  let rows = compute () in
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [
-          r.eds_seconds;
-          r.profile_seconds;
-          r.generate_seconds;
-          r.ss_seconds;
-          r.speedup_per_run;
-          float_of_int r.reduction;
-        ])
-    rows;
-  Format.fprintf ppf
-    "(speedup grows linearly with the reference stream length: the paper \
-     reports 100-1,000x at 100M instructions and 10,000-100,000x at 10B; \
-     profiling is a one-time cost amortized over a design-space \
-     exploration)@.@."
+(* deliberately bypasses the memo cache: this experiment measures the
+   raw cost of each pipeline stage, so nothing may be reused *)
+let exec _cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.baseline in
+  let stream () = Exp_common.stream spec in
+  let _, eds_seconds = time (fun () -> Uarch.Eds.run cfg (stream ())) in
+  let p, profile_seconds = time (fun () -> Statsim.profile cfg (stream ())) in
+  let trace, generate_seconds =
+    time (fun () ->
+        Statsim.synthesize ~target_length:Exp_common.syn_length p
+          ~seed:Exp_common.seed)
+  in
+  let _, ss_seconds = time (fun () -> Synth.Run.run cfg trace) in
+  {
+    bench = spec.Workload.Spec.name;
+    eds_seconds;
+    profile_seconds;
+    generate_seconds;
+    ss_seconds;
+    speedup_per_run = eds_seconds /. Float.max 1e-9 ss_seconds;
+    reduction = trace.Synth.Trace.reduction;
+  }
+
+let reduce _jobs results =
+  let open Runner.Report in
+  {
+    id = "speed";
+    blocks =
+      [
+        Line
+          (Printf.sprintf
+             "== Section 4.1: simulation speed (wall-clock, %d-instruction \
+              reference streams) =="
+             Exp_common.ref_length);
+        table ~name:"main"
+          ~columns:[ "eds.s"; "prof.s"; "gen.s"; "ss.s"; "speedup"; "R" ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums
+                   [
+                     r.eds_seconds;
+                     r.profile_seconds;
+                     r.generate_seconds;
+                     r.ss_seconds;
+                     r.speedup_per_run;
+                     float_of_int r.reduction;
+                   ] ))
+             (Array.to_list results));
+        Line
+          "(speedup grows linearly with the reference stream length: the \
+           paper reports 100-1,000x at 100M instructions and \
+           10,000-100,000x at 10B; profiling is a one-time cost amortized \
+           over a design-space exploration)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

@@ -4,7 +4,8 @@
     also skips cache and predictor work). Reports measured wall-clock
     throughput of both simulators and the end-to-end speedup for a
     design-space-exploration use case where one profile amortizes over
-    many simulated design points. *)
+    many simulated design points. Jobs bypass the memo cache: they time
+    raw computation. *)
 
 type row = {
   bench : string;
@@ -16,5 +17,4 @@ type row = {
   reduction : int;
 }
 
-val compute : ?benches:Workload.Spec.t list -> unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -6,28 +6,42 @@ type row = {
   mpki : float;
 }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let prog = Workload.Suite.program spec in
-      let m = Uarch.Eds.run cfg (Exp_common.stream spec) in
-      {
-        bench = spec.Workload.Spec.name;
-        blocks = Workload.Program.n_blocks prog;
-        code_kb = prog.code_bytes / 1024;
-        ipc = Uarch.Metrics.ipc m;
-        mpki = Uarch.Metrics.mpki m;
-      })
-    Exp_common.benches
+let jobs () = Array.of_list Exp_common.benches
 
-let run ppf =
-  Format.fprintf ppf "== Table 1: benchmarks and baseline IPC ==@.";
-  Exp_common.row_header ppf "bench" [ "blocks"; "code_kb"; "IPC"; "MPKI" ];
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        [ float_of_int r.blocks; float_of_int r.code_kb; r.ipc; r.mpki ])
-    (compute ());
-  Format.fprintf ppf
-    "(paper Table 1 IPC range: 0.51 (crafty) .. 1.94 (gzip))@.@."
+let exec cache (spec : Workload.Spec.t) =
+  let cfg = Config.Machine.baseline in
+  let prog = Workload.Suite.program spec in
+  let m = (Exp_common.reference cache cfg (Exp_common.src spec)).Statsim.metrics in
+  {
+    bench = spec.Workload.Spec.name;
+    blocks = Workload.Program.n_blocks prog;
+    code_kb = prog.code_bytes / 1024;
+    ipc = Uarch.Metrics.ipc m;
+    mpki = Uarch.Metrics.mpki m;
+  }
+
+let reduce _jobs rows =
+  let open Runner.Report in
+  {
+    id = "table1";
+    blocks =
+      [
+        Line "== Table 1: benchmarks and baseline IPC ==";
+        table ~name:"main"
+          ~columns:[ "blocks"; "code_kb"; "IPC"; "MPKI" ]
+          (Array.to_list rows
+          |> List.map (fun r ->
+                 ( r.bench,
+                   nums
+                     [
+                       float_of_int r.blocks;
+                       float_of_int r.code_kb;
+                       r.ipc;
+                       r.mpki;
+                     ] )));
+        Line "(paper Table 1 IPC range: 0.51 (crafty) .. 1.94 (gzip))";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

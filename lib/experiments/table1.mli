@@ -10,5 +10,4 @@ type row = {
   mpki : float;
 }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

@@ -1,32 +1,48 @@
 type row = { bench : string; nodes : int array }
 
-let compute () =
-  let cfg = Config.Machine.baseline in
-  List.map
-    (fun spec ->
-      let nodes =
-        Fig4.ks
-        |> List.map (fun k ->
-               let p =
-                 (* node counting needs no locality profiling: skip the
-                    cache and branch work to keep Table 3 cheap *)
-                 Statsim.profile ~k ~perfect_caches:true ~perfect_bpred:true
-                   cfg (Exp_common.stream spec)
-               in
-               Profile.Sfg.node_count p.sfg)
-        |> Array.of_list
-      in
-      { bench = spec.Workload.Spec.name; nodes })
-    Exp_common.benches
+let jobs () =
+  Exp_common.benches
+  |> List.concat_map (fun spec -> List.map (fun k -> (spec, k)) Fig4.ks)
+  |> Array.of_list
 
-let run ppf =
-  Format.fprintf ppf "== Table 3: SFG node count vs order k ==@.";
-  Exp_common.row_header ppf "bench" [ "k=0"; "k=1"; "k=2"; "k=3" ];
-  List.iter
-    (fun r ->
-      Exp_common.row ppf r.bench
-        (List.map float_of_int (Array.to_list r.nodes)))
-    (compute ());
-  Format.fprintf ppf
-    "(paper: gcc largest (30.8k..71.9k), vpr smallest (149..261); growth \
-     with k is modest)@.@."
+let exec cache ((spec : Workload.Spec.t), k) =
+  (* node counting needs no locality profiling: skip the cache and
+     branch work to keep Table 3 cheap *)
+  let p =
+    Exp_common.profile cache ~k ~perfect_caches:true ~perfect_bpred:true
+      Config.Machine.baseline (Exp_common.src spec)
+  in
+  Profile.Sfg.node_count p.sfg
+
+let reduce _jobs results =
+  let n_ks = List.length Fig4.ks in
+  let rows =
+    List.mapi
+      (fun i (spec : Workload.Spec.t) ->
+        {
+          bench = spec.name;
+          nodes = Array.init n_ks (fun j -> results.((i * n_ks) + j));
+        })
+      Exp_common.benches
+  in
+  let open Runner.Report in
+  {
+    id = "table3";
+    blocks =
+      [
+        Line "== Table 3: SFG node count vs order k ==";
+        table ~name:"main"
+          ~columns:[ "k=0"; "k=1"; "k=2"; "k=3" ]
+          (List.map
+             (fun r ->
+               ( r.bench,
+                 nums (List.map float_of_int (Array.to_list r.nodes)) ))
+             rows);
+        Line
+          "(paper: gcc largest (30.8k..71.9k), vpr smallest (149..261); \
+           growth with k is modest)";
+        Line "";
+      ];
+  }
+
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

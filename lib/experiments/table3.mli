@@ -3,5 +3,4 @@
 
 type row = { bench : string; nodes : int array (** per k in 0..3 *) }
 
-val compute : unit -> row list
-val run : Format.formatter -> unit
+val plan : Runner.Plan.t

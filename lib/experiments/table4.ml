@@ -9,6 +9,13 @@ let family_name = function
   | Bpred -> "branch predictor size"
   | Cache_size -> "cache size"
 
+let family_slug = function
+  | Window -> "window"
+  | Width -> "width"
+  | Ifq -> "ifq"
+  | Bpred -> "bpred"
+  | Cache_size -> "cache"
+
 let base = Config.Machine.baseline
 
 let configs = function
@@ -123,58 +130,58 @@ let metrics = function
 
 let metric_names f = List.map (fun m -> m.mname) (metrics f)
 
-type table = {
-  family : family;
-  steps : string list;
-  rows : (string * float list) list;
-}
-
 (* Table 4 runs 25 configurations x 10 benchmarks through both
    simulators; use half-size streams to keep the sweep tractable. *)
 let t4_ref_length = max 50_000 (Exp_common.ref_length / 2)
 let t4_syn_length = max 10_000 (Exp_common.syn_length / 2)
 
-let compute family =
+(* one job = one (sweep family, benchmark): every design point of the
+   family evaluated by both simulators on that benchmark's stream *)
+let jobs () =
+  families
+  |> List.concat_map (fun f ->
+         List.map (fun spec -> (f, spec)) Exp_common.benches)
+  |> Array.of_list
+
+let exec cache ((family : family), (spec : Workload.Spec.t)) =
   let cfgs = configs family in
-  let shared = profile_shared family in
-  (* per bench: per config, (eds metrics, ss metrics) *)
-  let per_bench =
-    List.map
-      (fun spec ->
-        let stream () = Exp_common.stream ~length:t4_ref_length spec in
-        let shared_profile =
-          if shared then Some (Statsim.profile base (stream ())) else None
-        in
-        (* the cache sweep profiles all its configurations in one pass
-           (cheetah-style single-pass multi-configuration simulation) *)
-        let multi_profiles =
-          match family with
-          | Cache_size ->
-            let _, ps =
-              Profile.Stat_profile.collect_multi_cache base
-                ~variants:(List.map snd cfgs) (stream ())
-            in
-            Some ps
-          | Window | Width | Ifq | Bpred -> None
-        in
-        List.mapi
-          (fun i (_, cfg) ->
-            let eds = Uarch.Eds.run cfg (stream ()) in
-            let p =
-              match (shared_profile, multi_profiles) with
-              | Some p, _ -> p
-              | None, Some ps -> List.nth ps i
-              | None, None -> Statsim.profile cfg (stream ())
-            in
-            let ss =
-              (Statsim.run_profile ~target_length:t4_syn_length cfg p
-                 ~seed:Exp_common.seed)
-                .Statsim.metrics
-            in
-            (cfg, eds, ss))
-          cfgs)
-      Exp_common.benches
+  let s = Exp_common.src ~length:t4_ref_length spec in
+  let shared_profile =
+    if profile_shared family then Some (Exp_common.profile cache base s)
+    else None
   in
+  (* the cache sweep profiles all its configurations in one pass
+     (cheetah-style single-pass multi-configuration simulation) *)
+  let multi_profiles =
+    match family with
+    | Cache_size ->
+      let _, ps =
+        Profile.Stat_profile.collect_multi_cache base
+          ~variants:(List.map snd cfgs)
+          (Exp_common.src_gen s)
+      in
+      Some ps
+    | Window | Width | Ifq | Bpred -> None
+  in
+  List.mapi
+    (fun i (_, cfg) ->
+      let eds = (Exp_common.reference cache cfg s).Statsim.metrics in
+      let p =
+        match (shared_profile, multi_profiles) with
+        | Some p, _ -> p
+        | None, Some ps -> List.nth ps i
+        | None, None -> Exp_common.profile cache cfg s
+      in
+      let ss =
+        (Statsim.run_profile ~target_length:t4_syn_length cfg p
+           ~seed:Exp_common.seed)
+          .Statsim.metrics
+      in
+      (cfg, eds, ss))
+    cfgs
+
+let family_table family per_bench =
+  let cfgs = configs family in
   let labels = List.map fst cfgs in
   let steps =
     let rec pairs = function
@@ -211,24 +218,36 @@ let compute family =
         (m.mname, errs))
       (metrics family)
   in
-  { family; steps; rows }
+  (steps, rows)
 
-let run_family ppf family =
-  let t = compute family in
-  Format.fprintf ppf "-- sensitivity to %s --@." (family_name family);
-  Format.fprintf ppf "%-18s" "";
-  List.iter (fun s -> Format.fprintf ppf " %9s" s) t.steps;
-  Format.fprintf ppf "@.";
-  List.iter
-    (fun (name, errs) ->
-      Format.fprintf ppf "%-18s" name;
-      List.iter (fun e -> Format.fprintf ppf " %8.1f%%" e) errs;
-      Format.fprintf ppf "@.")
-    t.rows
+let reduce _jobs results =
+  let nb = List.length Exp_common.benches in
+  let open Runner.Report in
+  let family_blocks fi family =
+    let per_bench = List.init nb (fun bi -> results.((fi * nb) + bi)) in
+    let steps, rows = family_table family per_bench in
+    [
+      Line (Printf.sprintf "-- sensitivity to %s --" (family_name family));
+      table
+        ~name:(family_slug family)
+        ~label_col:"" ~label_width:18 ~columns:steps
+        (List.map
+           (fun (name, errs) ->
+             (name, List.map (fun e -> Pct (e, 1)) errs))
+           rows);
+    ]
+  in
+  {
+    id = "table4";
+    blocks =
+      Line
+        "== Table 4: relative error (%) of statistical simulation across \
+         design-point steps =="
+      :: List.concat (List.mapi family_blocks families)
+      @ [
+          Line "(paper: relative errors generally below 3%)";
+          Line "";
+        ];
+  }
 
-let run ppf =
-  Format.fprintf ppf
-    "== Table 4: relative error (%%) of statistical simulation across \
-     design-point steps ==@.";
-  List.iter (run_family ppf) families;
-  Format.fprintf ppf "(paper: relative errors generally below 3%%)@.@."
+let plan = Runner.Plan.make ~jobs ~exec ~reduce

@@ -15,13 +15,4 @@ val configs : family -> (string * Config.Machine.t) list
 
 val metric_names : family -> string list
 
-type table = {
-  family : family;
-  steps : string list;  (** "A->B" labels *)
-  rows : (string * float list) list;
-      (** metric name, mean relative error (percent) per step *)
-}
-
-val compute : family -> table
-val run : Format.formatter -> unit
-val run_family : Format.formatter -> family -> unit
+val plan : Runner.Plan.t

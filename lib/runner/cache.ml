@@ -1,0 +1,57 @@
+type t = {
+  profiles : Profile.Stat_profile.t Memo.t;
+  references : Statsim.result Memo.t;
+}
+
+type stats = {
+  profile_hits : int;
+  profile_misses : int;
+  reference_hits : int;
+  reference_misses : int;
+}
+
+let create () = { profiles = Memo.create (); references = Memo.create () }
+
+let stats t =
+  {
+    profile_hits = Memo.hits t.profiles;
+    profile_misses = Memo.misses t.profiles;
+    reference_hits = Memo.hits t.references;
+    reference_misses = Memo.misses t.references;
+  }
+
+(* Config.Machine.t is a closed record of scalars and variants, so a
+   marshalled-bytes digest is a faithful content key. *)
+let cfg_key (cfg : Config.Machine.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string cfg []))
+
+let mode_key = function
+  | Profile.Branch_profiler.Immediate -> "imm"
+  | Profile.Branch_profiler.Delayed { fifo_size; squash_refetch } ->
+    Printf.sprintf "del%d%c" fifo_size (if squash_refetch then 's' else 'm')
+
+let profile t ?(k = 1) ?(dep_cap = Profile.Sfg.dep_cap) ?branch_mode
+    ?(perfect_caches = false) ?(perfect_bpred = false) cfg ~stream_key mk =
+  let branch_mode =
+    match branch_mode with
+    | Some m -> m
+    | None -> Profile.Branch_profiler.default_delayed cfg
+  in
+  let key =
+    Printf.sprintf "%s|%s|k=%d|cap=%d|%s|pc=%b|pb=%b" stream_key (cfg_key cfg)
+      k dep_cap (mode_key branch_mode) perfect_caches perfect_bpred
+  in
+  Memo.get t.profiles ~key (fun () ->
+      Profile.Stat_profile.collect ~k ~dep_cap ~branch_mode ~perfect_caches
+        ~perfect_bpred cfg (mk ()))
+
+let reference t ?max_instructions ?(perfect_caches = false)
+    ?(perfect_bpred = false) cfg ~stream_key mk =
+  let key =
+    Printf.sprintf "%s|%s|max=%s|pc=%b|pb=%b" stream_key (cfg_key cfg)
+      (match max_instructions with None -> "-" | Some n -> string_of_int n)
+      perfect_caches perfect_bpred
+  in
+  Memo.get t.references ~key (fun () ->
+      Statsim.reference ?max_instructions ~perfect_caches ~perfect_bpred cfg
+        (mk ()))

@@ -1,0 +1,56 @@
+(** Memoized EDS references and statistical profiles.
+
+    Both are pure functions of (stream, configuration, options), so one
+    cache shared across a whole experiment run computes each distinct
+    combination exactly once — the paper's own argument for amortizing a
+    one-time profiling cost over a design-space exploration, applied to
+    the reproduction harness itself.
+
+    Callers identify the instruction stream with an explicit
+    [stream_key] (workload name, suite, seed offset, length, phasing —
+    whatever determines the generated stream) and pass a thunk that
+    builds a {e fresh} generator; the configuration and every profiling
+    option are folded into the key here. *)
+
+type t
+
+type stats = {
+  profile_hits : int;
+  profile_misses : int;
+  reference_hits : int;
+  reference_misses : int;
+}
+
+val create : unit -> t
+val stats : t -> stats
+
+val cfg_key : Config.Machine.t -> string
+(** Content digest of a machine configuration. *)
+
+val profile :
+  t ->
+  ?k:int ->
+  ?dep_cap:int ->
+  ?branch_mode:Profile.Branch_profiler.mode ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  stream_key:string ->
+  (unit -> unit -> Isa.Dyn_inst.t option) ->
+  Profile.Stat_profile.t
+(** Memoized {!Statsim.profile}. Defaults mirror
+    {!Profile.Stat_profile.collect} exactly (k = 1, dep_cap = 512,
+    delayed branch profiling with an IFQ-sized FIFO), and the defaults
+    are normalized into the key so explicit-default and implicit calls
+    share an entry. *)
+
+val reference :
+  t ->
+  ?max_instructions:int ->
+  ?perfect_caches:bool ->
+  ?perfect_bpred:bool ->
+  Config.Machine.t ->
+  stream_key:string ->
+  (unit -> unit -> Isa.Dyn_inst.t option) ->
+  Statsim.result
+(** Memoized {!Statsim.reference} (execution-driven simulation). *)

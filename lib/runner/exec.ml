@@ -1,0 +1,10 @@
+type ctx = { cache : Cache.t; jobs : int }
+
+let create_ctx ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  { cache = Cache.create (); jobs = max 1 jobs }
+
+let run ctx (Plan.Pack p) =
+  let jobs = p.jobs () in
+  let results = Pool.map ~jobs:ctx.jobs (p.exec ctx.cache) jobs in
+  p.reduce jobs results

@@ -1,0 +1,15 @@
+(** Plan execution: a shared memo cache plus a Domain worker pool.
+
+    One [ctx] per harness run — the cache then amortizes EDS references
+    and statistical profiles across every experiment executed with it. *)
+
+type ctx = { cache : Cache.t; jobs : int }
+
+val create_ctx : ?jobs:int -> unit -> ctx
+(** [jobs] defaults to [REPRO_JOBS] (see {!Pool.default_jobs}); it is
+    clamped to at least 1. *)
+
+val run : ctx -> Plan.t -> Report.t
+(** Execute the plan's jobs on the pool ([ctx.jobs] workers, serial when
+    1) and reduce the index-ordered results. Identical rows for any
+    worker count. *)

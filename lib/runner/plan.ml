@@ -1,0 +1,11 @@
+type t =
+  | Pack : {
+      jobs : unit -> 'job array;
+      exec : Cache.t -> 'job -> 'res;
+      reduce : 'job array -> 'res array -> Report.t;
+    }
+      -> t
+
+let make ~jobs ~exec ~reduce = Pack { jobs; exec; reduce }
+
+let job_count (Pack p) = Array.length (p.jobs ())

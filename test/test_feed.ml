@@ -1,0 +1,55 @@
+(* Feed.Ring: the memoizing sliding window both simulator feeds use to
+   re-play squashed positions. *)
+
+let counter_ring ?window n =
+  let i = ref 0 in
+  Uarch.Feed.Ring.create ?window (fun () ->
+      if !i >= n then None
+      else begin
+        incr i;
+        Some (!i - 1)
+      end)
+
+let test_sequential () =
+  let r = counter_ring 100 in
+  for i = 0 to 99 do
+    Alcotest.(check (option int)) "get i" (Some i) (Uarch.Feed.Ring.get r i)
+  done
+
+let test_past_end () =
+  let r = counter_ring 10 in
+  Alcotest.(check (option int)) "end" None (Uarch.Feed.Ring.get r 10);
+  Alcotest.(check (option int)) "far past end" None (Uarch.Feed.Ring.get r 1_000);
+  (* the producer is exhausted, earlier reads still work *)
+  Alcotest.(check (option int)) "replay" (Some 9) (Uarch.Feed.Ring.get r 9)
+
+let test_replay_within_window () =
+  let r = counter_ring ~window:8 100 in
+  Alcotest.(check (option int)) "first read" (Some 20) (Uarch.Feed.Ring.get r 20);
+  (* indices (20-8, 20] remain readable, in any order *)
+  Alcotest.(check (option int)) "replay 13" (Some 13) (Uarch.Feed.Ring.get r 13);
+  Alcotest.(check (option int)) "replay 20" (Some 20) (Uarch.Feed.Ring.get r 20)
+
+let test_negative_index () =
+  let r = counter_ring 10 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Feed.Ring.get: negative index") (fun () ->
+      ignore (Uarch.Feed.Ring.get r (-1)))
+
+let test_slid_out_of_window () =
+  let r = counter_ring ~window:4 100 in
+  Alcotest.(check (option int)) "advance" (Some 9) (Uarch.Feed.Ring.get r 9);
+  (* produced = 10, window = 4: indices < 6 have been overwritten *)
+  Alcotest.check_raises "slid out"
+    (Invalid_argument "Feed.Ring.get: index slid out of window") (fun () ->
+      ignore (Uarch.Feed.Ring.get r 5));
+  Alcotest.(check (option int)) "oldest kept" (Some 6) (Uarch.Feed.Ring.get r 6)
+
+let suite =
+  [
+    Alcotest.test_case "sequential reads" `Quick test_sequential;
+    Alcotest.test_case "None past end" `Quick test_past_end;
+    Alcotest.test_case "replay within window" `Quick test_replay_within_window;
+    Alcotest.test_case "negative index raises" `Quick test_negative_index;
+    Alcotest.test_case "slid-out index raises" `Quick test_slid_out_of_window;
+  ]

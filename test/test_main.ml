@@ -11,6 +11,7 @@ let () =
       ("interp", Test_interp.suite);
       ("uarch", Test_uarch.suite);
       ("eds_feed", Test_eds_feed.suite);
+      ("feed", Test_feed.suite);
       ("power", Test_power.suite);
       ("dot", Test_dot.suite);
       ("profile", Test_profile.suite);
@@ -22,5 +23,6 @@ let () =
       ("serialize", Test_serialize.suite);
       ("inorder", Test_inorder.suite);
       ("experiments", Test_experiments.suite);
+      ("runner", Test_runner.suite);
       ("misc", Test_misc.suite);
     ]

@@ -1,0 +1,128 @@
+(* Runner layer: memo table, Domain pool determinism, plan execution. *)
+
+let test_memo_compute_once () =
+  let m = Runner.Memo.create () in
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    !calls * 10
+  in
+  Alcotest.(check int) "first computes" 10 (Runner.Memo.get m ~key:"a" f);
+  Alcotest.(check int) "second cached" 10 (Runner.Memo.get m ~key:"a" f);
+  Alcotest.(check int) "distinct key computes" 20 (Runner.Memo.get m ~key:"b" f);
+  Alcotest.(check int) "thunk ran twice" 2 !calls;
+  Alcotest.(check int) "hits" 1 (Runner.Memo.hits m);
+  Alcotest.(check int) "misses" 2 (Runner.Memo.misses m);
+  Alcotest.(check int) "size" 2 (Runner.Memo.size m)
+
+let test_memo_failure_retries () =
+  let m = Runner.Memo.create () in
+  let attempts = ref 0 in
+  let flaky () =
+    incr attempts;
+    if !attempts = 1 then failwith "first try fails" else 42
+  in
+  Alcotest.check_raises "first raises" (Failure "first try fails") (fun () ->
+      ignore (Runner.Memo.get m ~key:"k" flaky));
+  Alcotest.(check int) "retry succeeds" 42 (Runner.Memo.get m ~key:"k" flaky)
+
+let test_memo_concurrent_single_compute () =
+  (* two jobs sharing a key: the computation runs once even when domains
+     race for it *)
+  let m = Runner.Memo.create () in
+  let calls = Atomic.make 0 in
+  let slow_compute () =
+    Atomic.incr calls;
+    Unix.sleepf 0.02;
+    "shared"
+  in
+  let results =
+    Runner.Pool.map ~jobs:4
+      (fun _ -> Runner.Memo.get m ~key:"profile:gcc" slow_compute)
+      [| 0; 1; 2; 3 |]
+  in
+  Array.iter (Alcotest.(check string) "all see the value" "shared") results;
+  Alcotest.(check int) "computed once" 1 (Atomic.get calls);
+  Alcotest.(check int) "one miss" 1 (Runner.Memo.misses m);
+  Alcotest.(check int) "three hits" 3 (Runner.Memo.hits m)
+
+let test_cache_profile_shared () =
+  (* two jobs that need the same (workload, config, options) profile hit
+     one collection *)
+  let c = Runner.Cache.create () in
+  let spec = Workload.Suite.find "gzip" in
+  let mk () = Workload.Suite.stream spec ~length:5_000 in
+  let cfg = Config.Machine.baseline in
+  let p1 = Runner.Cache.profile c cfg ~stream_key:"int:gzip:n5000" mk in
+  let p2 = Runner.Cache.profile c ~k:1 cfg ~stream_key:"int:gzip:n5000" mk in
+  Alcotest.(check bool) "same profile object" true (p1 == p2);
+  let st = Runner.Cache.stats c in
+  Alcotest.(check int) "one miss" 1 st.profile_misses;
+  Alcotest.(check int) "one hit (k=1 is the default)" 1 st.profile_hits;
+  (* a different option set is a different entry *)
+  let p3 = Runner.Cache.profile c ~k:2 cfg ~stream_key:"int:gzip:n5000" mk in
+  Alcotest.(check bool) "k=2 distinct" true (p3 != p1);
+  Alcotest.(check int) "two misses" 2 (Runner.Cache.stats c).profile_misses
+
+let test_pool_exception () =
+  Alcotest.check_raises "re-raises lowest-index failure"
+    (Invalid_argument "boom 2") (fun () ->
+      ignore
+        (Runner.Pool.map ~jobs:3
+           (fun i ->
+             if i >= 2 then
+               invalid_arg (Printf.sprintf "boom %d" i)
+             else i)
+           [| 0; 1; 2; 3 |]))
+
+let test_pool_jobs_equal =
+  QCheck.Test.make ~count:50 ~name:"pool: jobs=4 equals jobs=1"
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let f x = (x * 7919) lxor (x lsl 3) in
+      Runner.Pool.map ~jobs:1 f a = Runner.Pool.map ~jobs:4 f a)
+
+let test_plan_parallel_deterministic () =
+  (* a small end-to-end plan produces the same rendered report at
+     jobs=1 and jobs=4 *)
+  let plan =
+    Runner.Plan.make
+      ~jobs:(fun () -> Array.init 9 (fun i -> i))
+      ~exec:(fun _cache i ->
+        (* unequal job costs encourage out-of-order completion *)
+        if i mod 3 = 0 then Unix.sleepf 0.005;
+        float_of_int (i * i) +. 0.5)
+      ~reduce:(fun jobs results ->
+        let open Runner.Report in
+        {
+          id = "test";
+          blocks =
+            [
+              Line "head";
+              table ~name:"main" ~columns:[ "sq" ]
+                (Array.to_list
+                   (Array.map2
+                      (fun j r -> (string_of_int j, nums [ r ]))
+                      jobs results));
+            ];
+        })
+  in
+  let render jobs =
+    let ctx = Runner.Exec.create_ctx ~jobs () in
+    Format.asprintf "%a" Runner.Report.to_text (Runner.Exec.run ctx plan)
+  in
+  Alcotest.(check string) "same text" (render 1) (render 4)
+
+let suite =
+  [
+    Alcotest.test_case "memo computes once" `Quick test_memo_compute_once;
+    Alcotest.test_case "memo failure retries" `Quick test_memo_failure_retries;
+    Alcotest.test_case "memo concurrent single compute" `Quick
+      test_memo_concurrent_single_compute;
+    Alcotest.test_case "cache shares profiles" `Quick test_cache_profile_shared;
+    Alcotest.test_case "pool re-raises" `Quick test_pool_exception;
+    QCheck_alcotest.to_alcotest test_pool_jobs_equal;
+    Alcotest.test_case "plan deterministic across jobs" `Quick
+      test_plan_parallel_deterministic;
+  ]
