@@ -10,8 +10,12 @@
      REPRO_JOBS=4 dune exec bench/main.exe     # 4 worker domains
      REPRO_BENCHES=gcc,twolf dune exec bench/main.exe fig6
 
-   Experiment timings and memo-cache statistics are also written to
-   BENCH_summary.json (machine-readable; gitignored). *)
+   Experiment timings, per-stage telemetry breakdowns (profile /
+   generate / simulate seconds and instructions-per-second) and
+   memo-cache statistics are written to BENCH_summary.json
+   (machine-readable; gitignored). `--out PATH` or REPRO_BENCH_OUT
+   chooses a different path; `bench/perf_gate.exe` compares the file
+   against the checked-in bench/baseline.json in CI. *)
 
 let ppf = Format.std_formatter
 
@@ -118,43 +122,118 @@ let run_one id =
       exit 2
     end
 
-let summary_file = "BENCH_summary.json"
+(* --- machine-readable summary --- *)
 
-let write_summary () =
+(* The per-stage breakdown pairs a pipeline-stage span with its
+   instruction counter, so the summary carries both seconds and
+   instructions-per-second per stage. Stage totals accumulate across
+   worker domains; at REPRO_JOBS=1 they are comparable to wall time. *)
+let stages =
+  [
+    ("profile", "profile.collect", "profile.instructions");
+    ("generate", "synth.generate", "synth.instructions");
+    ("simulate_synthetic", "synth.simulate", "synth.simulated_instructions");
+    ("simulate_eds", "uarch.eds", "uarch.eds_instructions");
+  ]
+
+let stages_json snap =
+  let open Telemetry.Json in
+  Obj
+    (List.map
+       (fun (stage, span_name, counter_name) ->
+         let secs =
+           match Telemetry.span_stat snap span_name with
+           | Some s -> float_of_int s.Telemetry.total_ns /. 1e9
+           | None -> 0.0
+         in
+         let insts = Telemetry.counter_total snap counter_name in
+         ( stage,
+           Obj
+             [
+               ("seconds", Num secs);
+               ("instructions", Num (float_of_int insts));
+               ( "ips",
+                 Num (if secs > 0.0 then float_of_int insts /. secs else 0.0)
+               );
+             ] ))
+       stages)
+
+let summary_json ts =
+  let open Telemetry.Json in
+  let ctx = Lazy.force ctx in
+  let st = Runner.Cache.stats ctx.cache in
+  let snap = Telemetry.snapshot () in
+  Obj
+    [
+      ("jobs", Num (float_of_int ctx.jobs));
+      ("scale", Num Experiments.Exp_common.scale);
+      ( "experiments",
+        Arr
+          (List.map
+             (fun (id, dt) -> Obj [ ("id", Str id); ("seconds", Num dt) ])
+             ts) );
+      ( "total_seconds",
+        Num (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 ts) );
+      ("stages", stages_json snap);
+      ( "cache",
+        Obj
+          [
+            ("profile_hits", Num (float_of_int st.profile_hits));
+            ("profile_misses", Num (float_of_int st.profile_misses));
+            ("reference_hits", Num (float_of_int st.reference_hits));
+            ("reference_misses", Num (float_of_int st.reference_misses));
+          ] );
+    ]
+
+let write_summary ~out =
   match List.rev !timings with
   | [] -> ()
   | ts ->
-    let ctx = Lazy.force ctx in
-    let st = Runner.Cache.stats ctx.cache in
-    let buf = Buffer.create 512 in
-    Buffer.add_string buf
-      (Printf.sprintf "{\"jobs\":%d,\"scale\":%g,\"experiments\":[" ctx.jobs
-         Experiments.Exp_common.scale);
-    List.iteri
-      (fun i (id, dt) ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf
-          (Printf.sprintf "{\"id\":%S,\"seconds\":%.3f}" id dt))
-      ts;
-    Buffer.add_string buf
-      (Printf.sprintf
-         "],\"total_seconds\":%.3f,\"cache\":{\"profile_hits\":%d,\"profile_misses\":%d,\"reference_hits\":%d,\"reference_misses\":%d}}\n"
-         (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 ts)
-         st.profile_hits st.profile_misses st.reference_hits
-         st.reference_misses);
-    let oc = open_out summary_file in
-    output_string oc (Buffer.contents buf);
+    let oc = open_out out in
+    output_string oc (Telemetry.Json.to_string (summary_json ts));
+    output_char oc '\n';
     close_out oc;
-    Format.fprintf ppf "[timing summary written to %s]@." summary_file
+    Format.fprintf ppf "[timing summary written to %s]@." out
+
+let default_out =
+  match Sys.getenv_opt "REPRO_BENCH_OUT" with
+  | Some p when p <> "" -> p
+  | Some _ | None -> "BENCH_summary.json"
+
+(* id arguments, plus --out PATH / --out=PATH for the summary *)
+let parse_args argv =
+  let out = ref default_out in
+  let ids = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out := path;
+      go rest
+    | arg :: rest when String.length arg > 6 && String.sub arg 0 6 = "--out="
+      ->
+      out := String.sub arg 6 (String.length arg - 6);
+      go rest
+    | ("-h" | "--help" | "help") :: _ ->
+      usage ();
+      exit 0
+    | id :: rest ->
+      ids := id :: !ids;
+      go rest
+  in
+  go argv;
+  (!out, List.rev !ids)
 
 let () =
-  (match Array.to_list Sys.argv with
-  | _ :: [] ->
+  (* the harness is the measurement tool: always collect its own
+     per-stage telemetry (REPRO_TELEMETRY additionally covers library
+     users and the CLI) *)
+  Telemetry.set_enabled true;
+  let out, ids = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (match ids with
+  | [] ->
     List.iter
       (fun (e : Experiments.Registry.entry) -> run_one e.id)
       Experiments.Registry.all;
     run_micro ()
-  | _ :: [ ("-h" | "--help" | "help") ] -> usage ()
-  | _ :: ids -> List.iter run_one ids
-  | [] -> assert false);
-  write_summary ()
+  | ids -> List.iter run_one ids);
+  write_summary ~out

@@ -1,0 +1,166 @@
+(* CI perf-regression gate: compare a fresh BENCH_summary.json against
+   the checked-in bench/baseline.json.
+
+   Usage:
+     dune exec bench/perf_gate.exe -- \
+       [--baseline bench/baseline.json] [--current BENCH_summary.json] \
+       [--threshold 1.0]
+
+   Gated metrics:
+     - per-stage seconds (profile / generate / simulate stages): fail when
+       the current run is slower than baseline * (1 + threshold), with
+       a small absolute slack so near-zero timings at tiny REPRO_SCALE
+       cannot trip the relative test;
+     - memo-cache hit/miss counts: deterministic for a fixed
+       experiment selection, so a drift beyond the threshold in either
+       direction signals a behavioral change (fewer shared profiles,
+       changed cache keys) and fails the gate.
+
+   Timings are compared at a generous threshold (default +100%) because
+   CI machines vary; the gate exists to catch order-of-magnitude
+   hot-path regressions, not 10% noise. Exit status: 0 pass, 1 regression,
+   2 usage/parse error. *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_json path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg -> die "perf_gate: cannot read %s: %s" path msg
+  in
+  match Telemetry.Json.of_string contents with
+  | Ok v -> v
+  | Error msg -> die "perf_gate: %s: %s" path msg
+
+let num_field json path =
+  let rec go json = function
+    | [] -> Telemetry.Json.to_num json
+    | k :: rest -> (
+      match Telemetry.Json.member k json with
+      | Some v -> go v rest
+      | None -> None)
+  in
+  go json path
+
+(* one gated metric: seconds regress only when slower; counts drift in
+   either direction *)
+type check = {
+  label : string;
+  path : string list;
+  both_directions : bool;
+  abs_slack : float;
+}
+
+let stage_names =
+  [ "profile"; "generate"; "simulate_synthetic"; "simulate_eds" ]
+
+let checks =
+  List.map
+    (fun stage ->
+      {
+        label = "stage." ^ stage ^ ".seconds";
+        path = [ "stages"; stage; "seconds" ];
+        both_directions = false;
+        abs_slack = 0.05;
+      })
+    stage_names
+  @ List.map
+      (fun field ->
+        {
+          label = "cache." ^ field;
+          path = [ "cache"; field ];
+          both_directions = true;
+          abs_slack = 1.0;
+        })
+      [ "profile_hits"; "profile_misses"; "reference_hits"; "reference_misses" ]
+
+type verdict = Ok_ | Regressed | Missing
+
+let evaluate ~threshold ~baseline ~current check =
+  match (num_field baseline check.path, num_field current check.path) with
+  | None, _ -> (check, nan, nan, Missing)
+  | Some b, None -> (check, b, nan, Missing)
+  | Some b, Some c ->
+    let delta = c -. b in
+    let over_rel =
+      if check.both_directions then Float.abs delta > threshold *. Float.abs b
+      else delta > threshold *. Float.abs b
+    in
+    let over_abs = Float.abs delta > check.abs_slack in
+    ( check,
+      b,
+      c,
+      if over_rel && over_abs then Regressed else Ok_ )
+
+let () =
+  let baseline_file = ref "bench/baseline.json" in
+  let current_file = ref "BENCH_summary.json" in
+  let threshold = ref 1.0 in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+      baseline_file := v;
+      parse rest
+    | "--current" :: v :: rest ->
+      current_file := v;
+      parse rest
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> threshold := t
+      | Some _ | None -> die "perf_gate: invalid --threshold %s" v);
+      parse rest
+    | arg :: _ -> die "perf_gate: unknown argument %s" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline = read_json !baseline_file in
+  let current = read_json !current_file in
+  let results =
+    List.map (evaluate ~threshold:!threshold ~baseline ~current) checks
+  in
+  Printf.printf "perf gate: %s vs baseline %s (threshold +%.0f%%)\n"
+    !current_file !baseline_file (100.0 *. !threshold);
+  Printf.printf "  %-34s %12s %12s %9s  %s\n" "metric" "baseline" "current"
+    "delta" "status";
+  let failures = ref 0 in
+  List.iter
+    (fun (check, b, c, verdict) ->
+      let fmt v =
+        if Float.is_nan v then "-"
+        else if Float.is_integer v then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.3f" v
+      in
+      let delta =
+        if Float.is_nan b || Float.is_nan c then "-"
+        else if Float.abs b > 0.0 then
+          Printf.sprintf "%+.0f%%" (100.0 *. (c -. b) /. Float.abs b)
+        else Printf.sprintf "%+.3f" (c -. b)
+      in
+      let status =
+        match verdict with
+        | Ok_ -> "ok"
+        | Regressed ->
+          incr failures;
+          "REGRESSED"
+        | Missing ->
+          incr failures;
+          "MISSING"
+      in
+      Printf.printf "  %-34s %12s %12s %9s  %s\n" check.label (fmt b) (fmt c)
+        delta status)
+    results;
+  (match
+     (num_field baseline [ "total_seconds" ], num_field current [ "total_seconds" ])
+   with
+  | Some b, Some c ->
+    Printf.printf "  (total_seconds %.3f -> %.3f, informational)\n" b c
+  | _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "FAIL: %d metric(s) regressed or missing\n" !failures;
+    exit 1
+  end
+  else print_endline "PASS"

@@ -146,9 +146,20 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Collect pipeline telemetry (per-stage span timers, memo-cache and \
+     instruction counters) and print it after the reports — as a JSON \
+     document under a $(b,telemetry) key with $(b,--format=json), as a text \
+     block otherwise. $(b,REPRO_TELEMETRY=1) enables the same collection \
+     process-wide."
+  in
+  Arg.(value & flag & info [ "telemetry" ] ~doc)
+
 let experiment_cmd =
-  let run ids format jobs =
+  let run ids format jobs telemetry =
     let ppf = Format.std_formatter in
+    if telemetry then Telemetry.set_enabled true;
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -168,14 +179,20 @@ let experiment_cmd =
     List.iter
       (fun (e : Experiments.Registry.entry) ->
         Runner.Report.render format ppf (Runner.Exec.run ctx e.plan))
-      entries
+      entries;
+    if Telemetry.enabled () then begin
+      let snap = Telemetry.snapshot () in
+      match format with
+      | Runner.Report.Json -> print_string (Telemetry.render_json snap)
+      | Runner.Report.Text | Runner.Report.Csv -> Telemetry.render_text ppf snap
+    end
   in
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment id(s).")
   in
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ ids_arg $ format_arg $ jobs_arg)
+    Term.(const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg)
 
 let dot_cmd =
   let run bench length k cfg_out sfg_out =

@@ -1,3 +1,9 @@
+(* Stage telemetry: one span per profiling pass (all three collectors
+   share it — they are the same pipeline stage), instructions counted
+   per pass. Free when telemetry is disabled. *)
+let span_collect = Telemetry.span "profile.collect"
+let c_instructions = Telemetry.counter "profile.instructions"
+
 type t = {
   sfg : Sfg.t;
   k : int;
@@ -194,50 +200,54 @@ let finish st sfg ~instructions =
   }
 
 let collect ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg gen =
-  let st =
-    make_state ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
-  in
-  let sfg = Sfg.create ~k:st.k in
-  let rec loop () =
-    match gen () with
-    | None -> ()
-    | Some inst ->
-      step st sfg inst;
-      loop ()
-  in
-  loop ();
-  (match st.bprof with Some bp -> Branch_profiler.flush bp | None -> ());
-  finish st sfg ~instructions:st.seq
+  Telemetry.time span_collect (fun () ->
+      let st =
+        make_state ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
+      in
+      let sfg = Sfg.create ~k:st.k in
+      let rec loop () =
+        match gen () with
+        | None -> ()
+        | Some inst ->
+          step st sfg inst;
+          loop ()
+      in
+      loop ();
+      (match st.bprof with Some bp -> Branch_profiler.flush bp | None -> ());
+      Telemetry.add c_instructions st.seq;
+      finish st sfg ~instructions:st.seq)
 
 let collect_chunked ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred
     cfg gen ~chunk_length =
   if chunk_length <= 0 then
     invalid_arg "Stat_profile.collect_chunked: chunk_length <= 0";
-  let st =
-    make_state ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
-  in
-  let profiles = ref [] in
-  let exhausted = ref false in
-  while not !exhausted do
-    let sfg = Sfg.create ~k:st.k in
-    let start = st.seq in
-    while st.seq - start < chunk_length && not !exhausted do
-      match gen () with
-      | None -> exhausted := true
-      | Some inst -> step st sfg inst
-    done;
-    (* at end of stream, drain pending delayed-update results (they are
-       attributed to the nodes they were pushed with, possibly in an
-       earlier chunk, which is where those branches executed) *)
-    if !exhausted then (
-      match st.bprof with Some bp -> Branch_profiler.flush bp | None -> ());
-    if st.seq > start then
-      profiles := finish st sfg ~instructions:(st.seq - start) :: !profiles;
-    (* a new chunk starts a new SFG: the first transition of the next
-       chunk must not point into the old graph *)
-    st.cur_node <- None
-  done;
-  List.rev !profiles
+  Telemetry.time span_collect (fun () ->
+      let st =
+        make_state ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
+      in
+      let profiles = ref [] in
+      let exhausted = ref false in
+      while not !exhausted do
+        let sfg = Sfg.create ~k:st.k in
+        let start = st.seq in
+        while st.seq - start < chunk_length && not !exhausted do
+          match gen () with
+          | None -> exhausted := true
+          | Some inst -> step st sfg inst
+        done;
+        (* at end of stream, drain pending delayed-update results (they are
+           attributed to the nodes they were pushed with, possibly in an
+           earlier chunk, which is where those branches executed) *)
+        if !exhausted then (
+          match st.bprof with Some bp -> Branch_profiler.flush bp | None -> ());
+        if st.seq > start then
+          profiles := finish st sfg ~instructions:(st.seq - start) :: !profiles;
+        (* a new chunk starts a new SFG: the first transition of the next
+           chunk must not point into the old graph *)
+        st.cur_node <- None
+      done;
+      Telemetry.add c_instructions st.seq;
+      List.rev !profiles)
 
 let mpki t =
   if t.instructions = 0 then 0.0
@@ -271,6 +281,8 @@ let collect_multi_cache ?k ?dep_cap ?branch_mode base_cfg ~variants gen =
           "Stat_profile.collect_multi_cache: variants may differ only in \
            cache/TLB geometry")
     variants;
+  (* timer rather than a closure: the body is long and single-exit *)
+  let tel = Telemetry.start () in
   let st = make_state ?k ?dep_cap ?branch_mode base_cfg in
   let sfg = Sfg.create ~k:st.k in
   let var_state =
@@ -351,4 +363,7 @@ let collect_multi_cache ?k ?dep_cap ?branch_mode base_cfg ~variants gen =
           m.dtlb_misses <- c.c_dtlb);
     { base with cfg; sfg = vsfg }
   in
-  (base, List.map variant_profile var_state)
+  let result = (base, List.map variant_profile var_state) in
+  Telemetry.add c_instructions base.instructions;
+  Telemetry.stop span_collect tel;
+  result

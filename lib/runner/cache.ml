@@ -10,7 +10,11 @@ type stats = {
   reference_misses : int;
 }
 
-let create () = { profiles = Memo.create (); references = Memo.create () }
+let create () =
+  {
+    profiles = Memo.create ~name:"cache.profile" ();
+    references = Memo.create ~name:"cache.reference" ();
+  }
 
 let stats t =
   {

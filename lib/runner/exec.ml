@@ -1,10 +1,22 @@
 type ctx = { cache : Cache.t; jobs : int }
 
+(* Per-plan and per-job spans: job totals accumulate across worker
+   domains, so plan wall-clock < job total signals real parallelism. *)
+let span_plan = Telemetry.span "runner.plan"
+let span_job = Telemetry.span "runner.job"
+let g_domains = Telemetry.gauge "runner.domains"
+
 let create_ctx ?jobs () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   { cache = Cache.create (); jobs = max 1 jobs }
 
 let run ctx (Plan.Pack p) =
-  let jobs = p.jobs () in
-  let results = Pool.map ~jobs:ctx.jobs (p.exec ctx.cache) jobs in
-  p.reduce jobs results
+  Telemetry.set_gauge g_domains (float_of_int ctx.jobs);
+  Telemetry.time span_plan (fun () ->
+      let jobs = p.jobs () in
+      let results =
+        Pool.map ~jobs:ctx.jobs
+          (fun job -> Telemetry.time span_job (fun () -> p.exec ctx.cache job))
+          jobs
+      in
+      p.reduce jobs results)

@@ -8,15 +8,21 @@ type 'v t = {
   tbl : (string, 'v entry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  (* mirrored into the telemetry registry when the table is named;
+     interning means every table with the same name shares one pair *)
+  tel_hits : Telemetry.counter option;
+  tel_misses : Telemetry.counter option;
 }
 
-let create () =
+let create ?name () =
   {
     mutex = Mutex.create ();
     cond = Condition.create ();
     tbl = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    tel_hits = Option.map (fun n -> Telemetry.counter (n ^ ".hits")) name;
+    tel_misses = Option.map (fun n -> Telemetry.counter (n ^ ".misses")) name;
   }
 
 let publish t key entry state =
@@ -33,6 +39,7 @@ let get t ~key f =
   match Hashtbl.find_opt t.tbl key with
   | Some entry ->
     t.hits <- t.hits + 1;
+    Option.iter Telemetry.incr t.tel_hits;
     let rec wait () =
       match entry.state with
       | Ready v ->
@@ -50,6 +57,7 @@ let get t ~key f =
     let entry = { state = Pending } in
     Hashtbl.add t.tbl key entry;
     t.misses <- t.misses + 1;
+    Option.iter Telemetry.incr t.tel_misses;
     Mutex.unlock t.mutex;
     (match f () with
     | v ->

@@ -9,7 +9,10 @@
 
 type 'v t
 
-val create : unit -> 'v t
+val create : ?name:string -> unit -> 'v t
+(** [name] additionally folds hit/miss counts into the {!Telemetry}
+    registry as counters [<name>.hits] / [<name>.misses] (recorded only
+    while telemetry is enabled; {!hits}/{!misses} below always count). *)
 
 val get : 'v t -> key:string -> (unit -> 'v) -> 'v
 

@@ -5,6 +5,12 @@ type rnode = {
   mutable out_weights : float array;
 }
 
+(* Stage telemetry: the whole generation pass, the SFG-reduction step
+   within it, and the synthetic instructions produced. *)
+let span_generate = Telemetry.span "synth.generate"
+let span_reduce = Telemetry.span "synth.reduce"
+let c_instructions = Telemetry.counter "synth.instructions"
+
 let dep_retries = 1_000
 
 let sample_flag rng num den =
@@ -25,8 +31,10 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
       invalid_arg "Generate.generate: give reduction or target_length, not both"
   in
   if r < 1 then invalid_arg "Generate.generate: reduction must be >= 1";
+  let tel = Telemetry.start () in
   let rng = Prng.create ~seed in
   (* step 0: the reduced statistical flow graph *)
+  let tel_reduce = Telemetry.start () in
   let by_key = Hashtbl.create 1024 in
   Profile.Sfg.iter_nodes p.sfg (fun n ->
       let remaining = n.occurrences / r in
@@ -50,6 +58,7 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
       rn.out_keys <- Array.of_list !keys;
       rn.out_weights <- Array.of_list !weights)
     by_key;
+  Telemetry.stop span_reduce tel_reduce;
   let live = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) by_key 0 in
   let out = ref [] in
   let emitted = ref 0 in
@@ -178,9 +187,14 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
   in
   restart ();
   ignore !emitted;
-  {
-    Trace.insts = Array.of_list (List.rev !out);
-    k = p.k;
-    reduction = r;
-    seed;
-  }
+  let trace =
+    {
+      Trace.insts = Array.of_list (List.rev !out);
+      k = p.k;
+      reduction = r;
+      seed;
+    }
+  in
+  Telemetry.add c_instructions (Array.length trace.Trace.insts);
+  Telemetry.stop span_generate tel;
+  trace

@@ -1,7 +1,14 @@
 module P = Uarch.Pipeline.Make (Synth_feed)
 
+(* Stage telemetry: synthetic-trace out-of-order simulation. *)
+let span_simulate = Telemetry.span "synth.simulate"
+let c_instructions = Telemetry.counter "synth.simulated_instructions"
+
 let run ?wrong_path_locality cfg trace =
-  P.run cfg (Synth_feed.create ?wrong_path_locality cfg trace)
+  Telemetry.time span_simulate (fun () ->
+      let m = P.run cfg (Synth_feed.create ?wrong_path_locality cfg trace) in
+      Telemetry.add c_instructions m.Uarch.Metrics.committed;
+      m)
 
 let run_many cfg traces = List.map (run cfg) traces
 

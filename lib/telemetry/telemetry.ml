@@ -1,0 +1,453 @@
+(* Process-wide metric registry. Fast path (disabled): one Atomic.get.
+   Fast path (enabled): Atomic.fetch_and_add on preallocated cells, a
+   CAS loop only for span maxima. The mutex below guards interning and
+   snapshotting, never updates. *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let num_repr v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      string_of_int (int_of_float v)
+    else Printf.sprintf "%.12g" v
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v ->
+      if Float.is_finite v then Buffer.add_string buf (num_repr v)
+      else Buffer.add_string buf "null"
+    | Str s -> escape buf s
+    | Arr vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf v)
+        vs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  exception Bad of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+            Buffer.add_char buf e;
+            go ()
+          | 'n' ->
+            Buffer.add_char buf '\n';
+            go ()
+          | 't' ->
+            Buffer.add_char buf '\t';
+            go ()
+          | 'r' ->
+            Buffer.add_char buf '\r';
+            go ()
+          | 'b' ->
+            Buffer.add_char buf '\b';
+            go ()
+          | 'f' ->
+            Buffer.add_char buf '\012';
+            go ()
+          | 'u' ->
+            if !pos + 4 > n then fail "short \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> Buffer.add_char buf (Char.chr (code land 0xff))
+            | None -> fail "bad \\u escape");
+            go ()
+          | _ -> fail "bad escape")
+        | c ->
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> Num v
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (elements [])
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let to_num = function Num v -> Some v | _ -> None
+  let to_str = function Str s -> Some s | _ -> None
+end
+
+(* --- enable flag --- *)
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "REPRO_TELEMETRY" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* --- instruments --- *)
+
+type span_cell = {
+  s_name : string;
+  calls : int Atomic.t;
+  total_ns : int Atomic.t;
+  max_ns : int Atomic.t;
+}
+
+type span = span_cell
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t }
+
+let registry_mutex = Mutex.create ()
+let span_tbl : (string, span) Hashtbl.t = Hashtbl.create 32
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 8
+
+let intern tbl name mk =
+  Mutex.lock registry_mutex;
+  let cell =
+    match Hashtbl.find_opt tbl name with
+    | Some c -> c
+    | None ->
+      let c = mk () in
+      Hashtbl.add tbl name c;
+      c
+  in
+  Mutex.unlock registry_mutex;
+  cell
+
+let span name =
+  intern span_tbl name (fun () ->
+      {
+        s_name = name;
+        calls = Atomic.make 0;
+        total_ns = Atomic.make 0;
+        max_ns = Atomic.make 0;
+      })
+
+let counter name =
+  intern counter_tbl name (fun () -> { c_name = name; count = Atomic.make 0 })
+
+let gauge name =
+  intern gauge_tbl name (fun () -> { g_name = name; value = Atomic.make 0.0 })
+
+let rec store_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
+
+let record sp ~t0 =
+  let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+  let dt = if dt < 0 then 0 else dt in
+  ignore (Atomic.fetch_and_add sp.calls 1);
+  ignore (Atomic.fetch_and_add sp.total_ns dt);
+  store_max sp.max_ns dt
+
+let time sp f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Monotonic_clock.now () in
+    match f () with
+    | v ->
+      record sp ~t0;
+      v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      record sp ~t0;
+      Printexc.raise_with_backtrace exn bt
+  end
+
+type timer = int64
+
+let no_timer = Int64.min_int
+
+let start () =
+  if Atomic.get enabled_flag then Monotonic_clock.now () else no_timer
+
+let stop sp t0 = if not (Int64.equal t0 no_timer) then record sp ~t0
+
+let add c n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.count n)
+
+let incr c = add c 1
+let counter_value c = Atomic.get c.count
+let set_gauge g v = if Atomic.get enabled_flag then Atomic.set g.value v
+
+(* --- snapshots --- *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_ns : int;
+  max_ns : int;
+}
+
+type snapshot = {
+  spans : span_stat list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+
+let by_name tbl read =
+  Hashtbl.fold (fun _ cell acc -> read cell :: acc) tbl []
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let spans =
+    by_name span_tbl (fun s ->
+        {
+          span_name = s.s_name;
+          calls = Atomic.get s.calls;
+          total_ns = Atomic.get s.total_ns;
+          max_ns = Atomic.get s.max_ns;
+        })
+    |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+  in
+  let counters =
+    by_name counter_tbl (fun c -> (c.c_name, Atomic.get c.count))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let gauges =
+    by_name gauge_tbl (fun g -> (g.g_name, Atomic.get g.value))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Mutex.unlock registry_mutex;
+  { spans; counters; gauges }
+
+let reset () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ (s : span) ->
+      Atomic.set s.calls 0;
+      Atomic.set s.total_ns 0;
+      Atomic.set s.max_ns 0)
+    span_tbl;
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counter_tbl;
+  Hashtbl.iter (fun _ g -> Atomic.set g.value 0.0) gauge_tbl;
+  Mutex.unlock registry_mutex
+
+let span_stat snap name =
+  List.find_opt (fun s -> s.span_name = name) snap.spans
+
+let counter_total snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+(* --- renders --- *)
+
+let seconds ns = float_of_int ns /. 1e9
+
+let json_of_snapshot snap =
+  Json.Obj
+    [
+      ( "spans",
+        Json.Arr
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.span_name);
+                   ("calls", Json.Num (float_of_int s.calls));
+                   ("total_ns", Json.Num (float_of_int s.total_ns));
+                   ("max_ns", Json.Num (float_of_int s.max_ns));
+                   ("total_seconds", Json.Num (seconds s.total_ns));
+                   ("max_seconds", Json.Num (seconds s.max_ns));
+                 ])
+             snap.spans) );
+      ( "counters",
+        Json.Arr
+          (List.map
+             (fun (name, v) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str name);
+                   ("value", Json.Num (float_of_int v));
+                 ])
+             snap.counters) );
+      ( "gauges",
+        Json.Arr
+          (List.map
+             (fun (name, v) ->
+               Json.Obj [ ("name", Json.Str name); ("value", Json.Num v) ])
+             snap.gauges) );
+    ]
+
+let render_json snap =
+  Json.to_string (Json.Obj [ ("telemetry", json_of_snapshot snap) ]) ^ "\n"
+
+let render_text ppf snap =
+  let spans = List.filter (fun s -> s.calls > 0) snap.spans in
+  let counters = List.filter (fun (_, v) -> v <> 0) snap.counters in
+  let gauges = List.filter (fun (_, v) -> v <> 0.0) snap.gauges in
+  Format.fprintf ppf "telemetry:@.";
+  if spans = [] && counters = [] && gauges = [] then
+    Format.fprintf ppf "  (no activity recorded)@."
+  else begin
+    List.iter
+      (fun s ->
+        Format.fprintf ppf
+          "  span    %-28s calls %8d  total %10.3fs  mean %10.6fs  max \
+           %10.6fs@."
+          s.span_name s.calls (seconds s.total_ns)
+          (seconds s.total_ns /. float_of_int (max 1 s.calls))
+          (seconds s.max_ns))
+      spans;
+    List.iter
+      (fun (name, v) ->
+        Format.fprintf ppf "  counter %-28s %d@." name v)
+      counters;
+    List.iter
+      (fun (name, v) ->
+        Format.fprintf ppf "  gauge   %-28s %g@." name v)
+      gauges
+  end

@@ -1,0 +1,128 @@
+(** Pipeline observability: monotonic span timers, named counters and
+    gauges in one process-wide registry.
+
+    Collection is {e off} by default. It is switched on for the whole
+    process by [REPRO_TELEMETRY=1] (read once at startup) or by
+    {!set_enabled}. A disabled instrument is free: every operation is a
+    single atomic flag read followed by a return — no allocation, no
+    clock read, no locking — so instrumentation can stay in the
+    simulator's hot paths permanently.
+
+    All updates are lock-free atomics, safe under the runner's Domain
+    pool; the registry mutex is taken only when a new instrument is
+    interned (typically at module initialization). Span totals
+    accumulate across domains, so under a parallel pool a span's total
+    can exceed wall-clock time — it measures work, not elapsed time. *)
+
+(** Minimal JSON values: enough to emit the metrics document and the
+    bench summary, and to read them back in the CI perf gate. No
+    external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact render. Integral floats print without a fractional part;
+      non-finite numbers print as [null]. *)
+
+  val of_string : string -> (t, string) result
+  (** Parse a complete JSON document ([Error] carries an offset-tagged
+      message). Numbers become [Num]; the standard string escapes
+      (quote, backslash, slash, b, f, n, r, t, uXXXX) are decoded, with
+      code points truncated to one byte — this reader targets the ASCII
+      documents this library itself emits. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k], if any. *)
+
+  val to_num : t -> float option
+  val to_str : t -> string option
+end
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Instruments}
+
+    Creation interns by name: two calls with the same name return the
+    same instrument, so independent modules (or repeated
+    [Cache.create]s) share one accumulator. *)
+
+type span
+(** A named accumulator of timed sections: call count, total and max
+    duration in nanoseconds (monotonic clock). *)
+
+val span : string -> span
+
+val time : span -> (unit -> 'a) -> 'a
+(** [time s f] runs [f ()], attributing its duration to [s]. The
+    duration is recorded even when [f] raises. When collection is
+    disabled this is exactly [f ()]. *)
+
+type timer
+(** A started clock, for sections that do not fit a closure. *)
+
+val start : unit -> timer
+val stop : span -> timer -> unit
+(** [stop s t] records the time elapsed since [start]. A [timer]
+    obtained while collection was disabled records nothing. *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+(** A last-value-wins float (worker-pool width, SFG node count, ...). *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+(** {1 Snapshots} *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_ns : int;
+  max_ns : int;
+}
+
+type snapshot = {
+  spans : span_stat list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+}
+(** Every registered instrument (including untouched ones), each section
+    sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered instrument (names stay interned). *)
+
+val span_stat : snapshot -> string -> span_stat option
+val counter_total : snapshot -> string -> int
+(** [counter_total snap name] is 0 when [name] is not registered. *)
+
+(** {1 Renders} *)
+
+val json_of_snapshot : snapshot -> Json.t
+(** An object with three arrays: [spans] (name, calls, total_ns, max_ns,
+    total_seconds, max_seconds), [counters] (name, value) and [gauges]
+    (name, value). *)
+
+val render_json : snapshot -> string
+(** The snapshot under a single top-level [telemetry] key, plus a
+    newline — a complete JSON document, distinguishable from report
+    documents. *)
+
+val render_text : Format.formatter -> snapshot -> unit
+(** Human-readable block (spans with calls/total/mean/max, then
+    counters, then gauges); instruments that never fired are elided. *)

@@ -24,5 +24,6 @@ let () =
       ("inorder", Test_inorder.suite);
       ("experiments", Test_experiments.suite);
       ("runner", Test_runner.suite);
+      ("telemetry", Test_telemetry.suite);
       ("misc", Test_misc.suite);
     ]

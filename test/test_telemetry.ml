@@ -1,0 +1,265 @@
+(* Telemetry layer: disabled-mode no-ops, span nesting/monotonicity,
+   counter correctness under parallel domains, JSON render goldens and
+   the JSON reader the perf gate uses. *)
+
+let with_enabled b f =
+  let prev = Telemetry.enabled () in
+  Telemetry.set_enabled b;
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled prev) f
+
+let test_disabled_noop () =
+  with_enabled false (fun () ->
+      let c = Telemetry.counter "test.disabled.counter" in
+      let g = Telemetry.gauge "test.disabled.gauge" in
+      let s = Telemetry.span "test.disabled.span" in
+      Telemetry.incr c;
+      Telemetry.add c 41;
+      Telemetry.set_gauge g 3.5;
+      Alcotest.(check int)
+        "time passes the value through" 7
+        (Telemetry.time s (fun () -> 7));
+      (* a timer started while disabled records nothing, even if
+         collection is enabled before it is stopped *)
+      let t = Telemetry.start () in
+      Telemetry.set_enabled true;
+      Telemetry.stop s t;
+      Telemetry.set_enabled false;
+      let snap = Telemetry.snapshot () in
+      Alcotest.(check int)
+        "counter untouched" 0
+        (Telemetry.counter_total snap "test.disabled.counter");
+      let st = Option.get (Telemetry.span_stat snap "test.disabled.span") in
+      Alcotest.(check int) "span calls 0" 0 st.Telemetry.calls;
+      Alcotest.(check int) "span total 0" 0 st.Telemetry.total_ns;
+      Alcotest.(check (float 0.0))
+        "gauge untouched" 0.0
+        (List.assoc "test.disabled.gauge" snap.Telemetry.gauges))
+
+let busy () =
+  let x = ref 0 in
+  for i = 1 to 200_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let test_nested_spans () =
+  with_enabled true (fun () ->
+      let outer = Telemetry.span "test.nest.outer" in
+      let inner = Telemetry.span "test.nest.inner" in
+      let v =
+        Telemetry.time outer (fun () ->
+            Telemetry.time inner (fun () ->
+                busy ();
+                41)
+            + 1)
+      in
+      Alcotest.(check int) "result" 42 v;
+      let snap = Telemetry.snapshot () in
+      let o = Option.get (Telemetry.span_stat snap "test.nest.outer") in
+      let i = Option.get (Telemetry.span_stat snap "test.nest.inner") in
+      Alcotest.(check int) "outer calls" 1 o.Telemetry.calls;
+      Alcotest.(check int) "inner calls" 1 i.Telemetry.calls;
+      Alcotest.(check bool) "outer total > 0" true (o.Telemetry.total_ns > 0);
+      Alcotest.(check bool)
+        "nested time is monotonic: inner <= outer" true
+        (i.Telemetry.total_ns <= o.Telemetry.total_ns);
+      Alcotest.(check bool)
+        "max <= total (single call)" true
+        (o.Telemetry.max_ns <= o.Telemetry.total_ns))
+
+let test_span_accumulates () =
+  with_enabled true (fun () ->
+      let s = Telemetry.span "test.accum.span" in
+      let total_of () =
+        let snap = Telemetry.snapshot () in
+        let st = Option.get (Telemetry.span_stat snap "test.accum.span") in
+        (st.Telemetry.calls, st.Telemetry.total_ns, st.Telemetry.max_ns)
+      in
+      let c0, t0, _ = total_of () in
+      Telemetry.time s busy;
+      let _, t1, _ = total_of () in
+      Telemetry.time s busy;
+      let c2, t2, m2 = total_of () in
+      Alcotest.(check int) "calls +2" (c0 + 2) c2;
+      Alcotest.(check bool) "total grows" true (t1 > t0 && t2 > t1);
+      Alcotest.(check bool) "max <= accumulated total" true (m2 <= t2))
+
+let test_span_records_on_exception () =
+  with_enabled true (fun () ->
+      let s = Telemetry.span "test.exn.span" in
+      (try Telemetry.time s (fun () -> failwith "boom")
+       with Failure _ -> ());
+      let snap = Telemetry.snapshot () in
+      let st = Option.get (Telemetry.span_stat snap "test.exn.span") in
+      Alcotest.(check int) "raised call recorded" 1 st.Telemetry.calls)
+
+let test_interning () =
+  let a = Telemetry.counter "test.intern.counter" in
+  let b = Telemetry.counter "test.intern.counter" in
+  with_enabled true (fun () ->
+      let before = Telemetry.counter_value a in
+      Telemetry.incr b;
+      Alcotest.(check int)
+        "same cell through either handle" (before + 1)
+        (Telemetry.counter_value a))
+
+(* the property the Domain pool relies on: lock-free increments from
+   parallel domains are not lost *)
+let prop_counter_domains =
+  QCheck.Test.make ~count:20 ~name:"counter exact under 4 domains"
+    QCheck.(int_range 1 2_000)
+    (fun n ->
+      with_enabled true (fun () ->
+          let c = Telemetry.counter "test.domains.counter" in
+          let before = Telemetry.counter_value c in
+          let domains =
+            Array.init 4 (fun _ ->
+                Domain.spawn (fun () ->
+                    for _ = 1 to n do
+                      Telemetry.incr c
+                    done))
+          in
+          Array.iter Domain.join domains;
+          Telemetry.counter_value c - before = 4 * n))
+
+let test_memo_telemetry_counters () =
+  with_enabled true (fun () ->
+      let snap0 = Telemetry.snapshot () in
+      let m = Runner.Memo.create ~name:"test.memo" () in
+      Alcotest.(check int) "miss computes" 1
+        (Runner.Memo.get m ~key:"k" (fun () -> 1));
+      Alcotest.(check int) "hit cached" 1
+        (Runner.Memo.get m ~key:"k" (fun () -> 2));
+      let snap = Telemetry.snapshot () in
+      let delta name =
+        Telemetry.counter_total snap name - Telemetry.counter_total snap0 name
+      in
+      Alcotest.(check int) "one miss counted" 1 (delta "test.memo.misses");
+      Alcotest.(check int) "one hit counted" 1 (delta "test.memo.hits"))
+
+let test_pipeline_stage_spans () =
+  with_enabled true (fun () ->
+      let snap0 = Telemetry.snapshot () in
+      let cfg = Config.Machine.baseline in
+      let spec = Workload.Suite.find "gcc" in
+      ignore
+        (Statsim.run cfg
+           (Workload.Suite.stream spec ~length:4_000)
+           ~target_length:1_000 ~seed:3);
+      let snap = Telemetry.snapshot () in
+      let calls s name =
+        match Telemetry.span_stat s name with
+        | Some st -> st.Telemetry.calls
+        | None -> 0
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " fired") true
+            (calls snap name > calls snap0 name))
+        [ "profile.collect"; "synth.reduce"; "synth.generate";
+          "synth.simulate" ])
+
+(* --- JSON renders --- *)
+
+let golden_snapshot : Telemetry.snapshot =
+  {
+    Telemetry.spans =
+      [
+        {
+          Telemetry.span_name = "profile.collect";
+          calls = 2;
+          total_ns = 1_500_000_000;
+          max_ns = 1_000_000_000;
+        };
+      ];
+    counters = [ ("cache.profile.hits", 3) ];
+    gauges = [ ("runner.domains", 2.0) ];
+  }
+
+let test_render_json_golden () =
+  Alcotest.(check string)
+    "exact metrics document"
+    ("{\"telemetry\":{\"spans\":[{\"name\":\"profile.collect\",\"calls\":2,\
+      \"total_ns\":1500000000,\"max_ns\":1000000000,\"total_seconds\":1.5,\
+      \"max_seconds\":1}],\"counters\":[{\"name\":\"cache.profile.hits\",\
+      \"value\":3}],\"gauges\":[{\"name\":\"runner.domains\",\"value\":2}]}}"
+    ^ "\n")
+    (Telemetry.render_json golden_snapshot)
+
+let test_json_to_string_golden () =
+  let open Telemetry.Json in
+  Alcotest.(check string)
+    "values and escapes"
+    "{\"a\":[1,2.5,null,true],\"s\":\"q\\\"\\\\\\n\\u0001z\",\"o\":{}}"
+    (to_string
+       (Obj
+          [
+            ("a", Arr [ Num 1.0; Num 2.5; Null; Bool true ]);
+            ("s", Str "q\"\\\n\001z");
+            ("o", Obj []);
+          ]))
+
+let test_json_parse_document () =
+  let open Telemetry.Json in
+  match
+    of_string
+      "{\"stages\":{\"profile\":{\"seconds\":0.25,\"ips\":1e6}},\
+       \"ok\":true,\"ids\":[\"a\",\"b\"]}"
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok doc ->
+    let seconds =
+      Option.bind (member "stages" doc) (member "profile")
+      |> Fun.flip Option.bind (member "seconds")
+      |> Fun.flip Option.bind to_num
+    in
+    Alcotest.(check (option (float 0.0))) "nested num" (Some 0.25) seconds;
+    Alcotest.(check (option string))
+      "first id" (Some "a")
+      (match member "ids" doc with
+      | Some (Arr (x :: _)) -> to_str x
+      | _ -> None)
+
+let test_json_parse_errors () =
+  let open Telemetry.Json in
+  let is_error s =
+    match of_string s with Error _ -> true | Ok _ -> false
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (is_error s))
+    [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "12 34"; "nul" ]
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"json string roundtrip"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match Telemetry.Json.(of_string (to_string (Str s))) with
+      | Ok (Telemetry.Json.Str s') -> s' = s
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "disabled instruments are no-ops" `Quick
+      test_disabled_noop;
+    Alcotest.test_case "nested spans are monotonic" `Quick test_nested_spans;
+    Alcotest.test_case "spans accumulate across calls" `Quick
+      test_span_accumulates;
+    Alcotest.test_case "raising section still recorded" `Quick
+      test_span_records_on_exception;
+    Alcotest.test_case "creation interns by name" `Quick test_interning;
+    QCheck_alcotest.to_alcotest prop_counter_domains;
+    Alcotest.test_case "memo hit/miss folded into registry" `Quick
+      test_memo_telemetry_counters;
+    Alcotest.test_case "full pipeline fires stage spans" `Quick
+      test_pipeline_stage_spans;
+    Alcotest.test_case "metrics JSON golden render" `Quick
+      test_render_json_golden;
+    Alcotest.test_case "Json.to_string golden" `Quick
+      test_json_to_string_golden;
+    Alcotest.test_case "Json.of_string reads a summary-style doc" `Quick
+      test_json_parse_document;
+    Alcotest.test_case "Json.of_string rejects malformed input" `Quick
+      test_json_parse_errors;
+    QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
+  ]
