@@ -11,8 +11,10 @@
      REPRO_BENCHES=gcc,twolf dune exec bench/main.exe fig6
 
    Experiment timings, per-stage telemetry breakdowns (profile /
-   generate / simulate seconds and instructions-per-second) and
-   memo-cache statistics are written to BENCH_summary.json
+   generate / simulate seconds and instructions-per-second), memo-cache
+   statistics and persistent-store counters (hits / misses / bytes
+   written / quarantined; zero unless REPRO_CACHE_DIR is set, and the
+   CI gate pins them to zero) are written to BENCH_summary.json
    (machine-readable; gitignored). `--out PATH` or REPRO_BENCH_OUT
    chooses a different path; `bench/perf_gate.exe` compares the file
    against the checked-in bench/baseline.json in CI. *)
@@ -182,6 +184,16 @@ let summary_json ts =
             ("profile_misses", Num (float_of_int st.profile_misses));
             ("reference_hits", Num (float_of_int st.reference_hits));
             ("reference_misses", Num (float_of_int st.reference_misses));
+          ] );
+      (* persistent artifact-store counters (all zero unless the run set
+         REPRO_CACHE_DIR and the memo cache has a disk tier) *)
+      ( "store",
+        Obj
+          [
+            ("hits", Num (float_of_int st.store_hits));
+            ("misses", Num (float_of_int st.store_misses));
+            ("bytes_written", Num (float_of_int st.store_bytes_written));
+            ("quarantined", Num (float_of_int st.store_quarantined));
           ] );
     ]
 

@@ -78,6 +78,17 @@ let checks =
           abs_slack = 1.0;
         })
       [ "profile_hits"; "profile_misses"; "reference_hits"; "reference_misses" ]
+  (* the CI bench run has no REPRO_CACHE_DIR, so these must stay 0 —
+     a nonzero value means the gate run accidentally used a store *)
+  @ List.map
+      (fun field ->
+        {
+          label = "store." ^ field;
+          path = [ "store"; field ];
+          both_directions = true;
+          abs_slack = 0.5;
+        })
+      [ "hits"; "misses"; "bytes_written"; "quarantined" ]
 
 type verdict = Ok_ | Regressed | Missing
 

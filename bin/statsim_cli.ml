@@ -91,8 +91,18 @@ let simulate_cmd =
       const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
       $ load_arg)
 
+let force_arg =
+  let doc = "Overwrite an existing output file." in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
 let profile_cmd =
-  let run bench length k save =
+  let run bench length k save force =
+    (* fail on a clobber before paying for the profiling pass *)
+    (match save with
+    | Some path when (not force) && Sys.file_exists path ->
+      Printf.eprintf "refusing to overwrite %s (use --force)\n" path;
+      exit 1
+    | Some _ | None -> ());
     let cfg = Config.Machine.baseline in
     let spec = spec_of_name bench in
     let p = Statsim.profile ~k cfg (Workload.Suite.stream spec ~length) in
@@ -123,7 +133,7 @@ let profile_cmd =
   in
   let doc = "collect a statistical profile and print its headline facts" in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ bench_arg $ length_arg $ k_arg $ save_arg)
+    Term.(const run $ bench_arg $ length_arg $ k_arg $ save_arg $ force_arg)
 
 let format_arg =
   let doc = "Report format: $(b,text) (the paper tables), $(b,csv) or $(b,json)." in
@@ -156,8 +166,17 @@ let telemetry_arg =
   in
   Arg.(value & flag & info [ "telemetry" ] ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persistent artifact-store directory: statistical profiles and EDS \
+     references are published there and answered from disk on later runs, \
+     across processes (default: $(b,REPRO_CACHE_DIR); unset = in-memory \
+     only)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
 let experiment_cmd =
-  let run ids format jobs telemetry =
+  let run ids format jobs telemetry cache_dir =
     let ppf = Format.std_formatter in
     if telemetry then Telemetry.set_enabled true;
     let entries =
@@ -175,7 +194,7 @@ let experiment_cmd =
     in
     (* one ctx for the whole selection: references and profiles are
        computed once and shared across experiments *)
-    let ctx = Runner.Exec.create_ctx ?jobs () in
+    let ctx = Runner.Exec.create_ctx ?jobs ?cache_dir () in
     List.iter
       (fun (e : Experiments.Registry.entry) ->
         Runner.Report.render format ppf (Runner.Exec.run ctx e.plan))
@@ -192,7 +211,9 @@ let experiment_cmd =
   in
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg)
+    Term.(
+      const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg
+      $ cache_dir_arg)
 
 let dot_cmd =
   let run bench length k cfg_out sfg_out =
@@ -225,6 +246,72 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc)
     Term.(const run $ bench_arg $ length_arg $ k_arg $ cfg_arg $ sfg_arg)
 
+(* --- cache maintenance: statsim cache stats|gc|clear --- *)
+
+let open_store cache_dir =
+  let dir =
+    match cache_dir with
+    | Some d -> d
+    | None -> (
+      match Sys.getenv_opt "REPRO_CACHE_DIR" with
+      | Some d when d <> "" -> d
+      | Some _ | None ->
+        prerr_endline
+          "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR";
+        exit 2)
+  in
+  Store.open_root dir
+
+let cache_cmd =
+  let stats_cmd =
+    let run cache_dir =
+      let s = open_store cache_dir in
+      let d = Store.disk_stats s in
+      Printf.printf "cache directory:     %s\n" (Store.root s);
+      Printf.printf "entries:             %d\n" d.Store.entries;
+      Printf.printf "total bytes:         %d\n" d.Store.total_bytes;
+      Printf.printf "quarantined entries: %d\n" d.Store.quarantine_entries
+    in
+    let doc = "print entry count and byte totals of the artifact store" in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let gc_cmd =
+    let run cache_dir max_bytes =
+      let s = open_store cache_dir in
+      let evicted, freed = Store.gc s ~max_bytes in
+      let d = Store.disk_stats s in
+      Printf.printf "evicted %d entr%s (%d bytes); %d entr%s (%d bytes) remain\n"
+        evicted
+        (if evicted = 1 then "y" else "ies")
+        freed d.Store.entries
+        (if d.Store.entries = 1 then "y" else "ies")
+        d.Store.total_bytes
+    in
+    let max_bytes_arg =
+      let doc =
+        "Byte budget: evict least-recently-used entries until the store \
+         fits."
+      in
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+    in
+    let doc = "shrink the artifact store to a byte budget (LRU by atime)" in
+    Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ cache_dir_arg $ max_bytes_arg)
+  in
+  let clear_cmd =
+    let run cache_dir =
+      let s = open_store cache_dir in
+      Store.clear s;
+      Printf.printf "cleared %s\n" (Store.root s)
+    in
+    let doc = "remove every entry from the artifact store" in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const run $ cache_dir_arg)
+  in
+  let doc = "inspect and maintain the persistent artifact store" in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; gc_cmd; clear_cmd ]
+
 let list_cmd =
   let run () =
     Printf.printf "workloads:\n  %s\n\nexperiments:\n"
@@ -241,4 +328,5 @@ let () =
   let doc = "statistical simulation for processor design studies (ISCA 2004 reproduction)" in
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ simulate_cmd; profile_cmd; experiment_cmd; dot_cmd; list_cmd ]))
+       [ simulate_cmd; profile_cmd; experiment_cmd; cache_cmd; dot_cmd;
+         list_cmd ]))

@@ -167,6 +167,45 @@ let in_order_variant t = { t with in_order = true }
 
 let with_predictor t kind = { t with bpred = { t.bpred with kind } }
 
+(* Every field, in declaration order, under a scheme-version tag. Any
+   new field must be appended here (and the tag bumped if the meaning of
+   an existing field changes): persistent cache keys are derived from
+   this string, so it must be exhaustive and stable. *)
+let canonical (t : t) =
+  let b = Buffer.create 256 in
+  let f fmt = Printf.bprintf b fmt in
+  let cache tag (c : cache) =
+    f "%s=%d/%d/%d/%d;" tag c.size_bytes c.assoc c.block_bytes c.hit_latency
+  in
+  let tlb tag (x : tlb) =
+    f "%s=%d/%d/%d/%d;" tag x.entries x.tlb_assoc x.page_bytes x.miss_penalty
+  in
+  f "machine-v1;";
+  cache "icache" t.icache;
+  cache "dcache" t.dcache;
+  cache "l2" t.l2;
+  tlb "itlb" t.itlb;
+  tlb "dtlb" t.dtlb;
+  f "mem=%d;" t.mem_latency;
+  let kind =
+    match t.bpred.kind with
+    | Hybrid_local -> "hybrid"
+    | Gshare -> "gshare"
+    | Bimodal_only -> "bimodal"
+  in
+  f "bpred=%s/%d/%d/%d/%d/%d/%d/%d/%d;" kind t.bpred.meta_entries
+    t.bpred.bimodal_entries t.bpred.local_hist_entries
+    t.bpred.local_pattern_entries t.bpred.local_hist_bits t.bpred.btb_sets
+    t.bpred.btb_assoc t.bpred.ras_entries;
+  f "front=%d/%d/%d/%d;" t.mispredict_restart t.fetch_redirect_penalty
+    t.ifq_size t.fetch_speed;
+  f "window=%d/%d;" t.ruu_size t.lsq_size;
+  f "width=%d/%d/%d;" t.decode_width t.issue_width t.commit_width;
+  f "fu=%d/%d/%d/%d/%d;" t.fu.int_alu t.fu.int_mult_div t.fu.mem_ports
+    t.fu.fp_alu t.fu.fp_mult_div;
+  f "inorder=%b" t.in_order;
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>machine: %d-wide (fetch x%d), IFQ=%d RUU=%d LSQ=%d@,\

@@ -104,4 +104,10 @@ val in_order_variant : t -> t
 
 val with_predictor : t -> predictor_kind -> t
 
+val canonical : t -> string
+(** A stable, exhaustive textual rendering of every field, for use as a
+    persistent content key. Unlike [Marshal]-based digests it does not
+    change with the OCaml version or the in-memory representation: two
+    configurations are equal iff their canonical strings are equal. *)
+
 val pp : Format.formatter -> t -> unit

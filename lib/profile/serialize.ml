@@ -2,68 +2,84 @@ let version = 1
 
 let bool_int b = if b then 1 else 0
 
-let write_hist out h =
+let write_hist b h =
   let n = List.length (Stats.Histogram.support h) in
-  Printf.fprintf out " %d" n;
-  Stats.Histogram.iter h (fun v c -> Printf.fprintf out " %d %d" v c)
+  Printf.bprintf b " %d" n;
+  Stats.Histogram.iter h (fun v c -> Printf.bprintf b " %d %d" v c)
 
-let write_config out (c : Config.Machine.t) =
+let write_config b (c : Config.Machine.t) =
   let cache (x : Config.Machine.cache) =
-    Printf.fprintf out " %d %d %d %d" x.size_bytes x.assoc x.block_bytes
+    Printf.bprintf b " %d %d %d %d" x.size_bytes x.assoc x.block_bytes
       x.hit_latency
   in
   let tlb (x : Config.Machine.tlb) =
-    Printf.fprintf out " %d %d %d %d" x.entries x.tlb_assoc x.page_bytes
+    Printf.bprintf b " %d %d %d %d" x.entries x.tlb_assoc x.page_bytes
       x.miss_penalty
   in
-  Printf.fprintf out "config";
+  Printf.bprintf b "config";
   cache c.icache;
   cache c.dcache;
   cache c.l2;
   tlb c.itlb;
   tlb c.dtlb;
-  Printf.fprintf out " %d" c.mem_latency;
-  let b = c.bpred in
+  Printf.bprintf b " %d" c.mem_latency;
+  let bp = c.bpred in
   let kind_code =
-    match b.kind with
+    match bp.kind with
     | Config.Machine.Hybrid_local -> 0
     | Config.Machine.Gshare -> 1
     | Config.Machine.Bimodal_only -> 2
   in
-  Printf.fprintf out " %d %d %d %d %d %d %d %d %d" kind_code b.meta_entries
-    b.bimodal_entries b.local_hist_entries b.local_pattern_entries
-    b.local_hist_bits b.btb_sets b.btb_assoc b.ras_entries;
-  Printf.fprintf out " %d %d %d %d %d %d %d %d %d" c.mispredict_restart
+  Printf.bprintf b " %d %d %d %d %d %d %d %d %d" kind_code bp.meta_entries
+    bp.bimodal_entries bp.local_hist_entries bp.local_pattern_entries
+    bp.local_hist_bits bp.btb_sets bp.btb_assoc bp.ras_entries;
+  Printf.bprintf b " %d %d %d %d %d %d %d %d %d" c.mispredict_restart
     c.fetch_redirect_penalty c.ifq_size c.ruu_size c.lsq_size c.fetch_speed
     c.decode_width c.issue_width c.commit_width;
-  Printf.fprintf out " %d %d %d %d %d" c.fu.int_alu c.fu.int_mult_div
+  Printf.bprintf b " %d %d %d %d %d" c.fu.int_alu c.fu.int_mult_div
     c.fu.mem_ports c.fu.fp_alu c.fu.fp_mult_div;
-  Printf.fprintf out " %d\n" (bool_int c.in_order)
+  Printf.bprintf b " %d\n" (bool_int c.in_order)
 
-let save (p : Stat_profile.t) out =
-  Printf.fprintf out "statsim-profile %d\n" version;
-  Printf.fprintf out "meta %d %d %d %d %d %d\n" p.k p.instructions
+(* Nodes are emitted sorted by key and edges sorted by successor, so
+   the rendering is canonical: equal profiles produce equal bytes
+   regardless of hash-table history — what a content-addressed store
+   and a byte-identity round-trip property both need. *)
+let to_string (p : Stat_profile.t) =
+  let b = Buffer.create 65536 in
+  Printf.bprintf b "statsim-profile %d\n" version;
+  Printf.bprintf b "meta %d %d %d %d %d %d\n" p.k p.instructions
     (bool_int p.perfect_caches)
     (bool_int p.perfect_bpred)
     p.branches p.mispredicts;
-  write_config out p.cfg;
-  Sfg.iter_nodes p.sfg (fun n ->
-      Printf.fprintf out "node %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d\n"
+  write_config b p.cfg;
+  let nodes =
+    List.sort
+      (fun (a : Sfg.node) (c : Sfg.node) -> compare a.key c.key)
+      (Sfg.nodes p.sfg)
+  in
+  List.iter
+    (fun (n : Sfg.node) ->
+      Printf.bprintf b "node %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d\n"
         n.key n.block n.occurrences n.br_execs n.br_taken n.br_mispredict
         n.br_redirect n.fetches n.l1i_misses n.l2i_misses n.itlb_misses
         n.loads n.l1d_misses n.l2d_misses n.dtlb_misses
         (Array.length n.slots);
       Array.iter
         (fun (s : Sfg.slot) ->
-          Printf.fprintf out "slot %d %d" (Isa.Iclass.index s.klass) s.nsrcs;
-          Array.iter (write_hist out) s.deps;
-          write_hist out s.waw;
-          write_hist out s.war;
-          Printf.fprintf out "\n")
+          Printf.bprintf b "slot %d %d" (Isa.Iclass.index s.klass) s.nsrcs;
+          Array.iter (write_hist b) s.deps;
+          write_hist b s.waw;
+          write_hist b s.war;
+          Printf.bprintf b "\n")
         n.slots;
-      Hashtbl.iter
-        (fun succ count -> Printf.fprintf out "edge %d %d\n" succ !count)
-        n.edges)
+      Hashtbl.fold (fun succ count acc -> (succ, !count) :: acc) n.edges []
+      |> List.sort compare
+      |> List.iter (fun (succ, count) ->
+             Printf.bprintf b "edge %d %d\n" succ count))
+    nodes;
+  Buffer.contents b
+
+let save p out = output_string out (to_string p)
 
 (* --- loading --- *)
 
@@ -185,11 +201,13 @@ let tokenize line lineno =
   | tag :: rest ->
     Some (tag, { tokens = Array.of_list rest; pos = 0; line = lineno })
 
-let load ic =
+(* [next_line] yields successive lines and raises [End_of_file] when
+   exhausted — one parser for channels and in-memory strings. *)
+let load_from next_line =
   let lineno = ref 0 in
   let read_line () =
     incr lineno;
-    input_line ic
+    next_line ()
   in
   (* header *)
   (match tokenize (read_line ()) !lineno with
@@ -277,9 +295,34 @@ let load ic =
     mispredicts;
   }
 
+let load ic = load_from (fun () -> input_line ic)
+
+let of_string s =
+  let rest = ref (String.split_on_char '\n' s) in
+  load_from (fun () ->
+      match !rest with
+      | [] -> raise End_of_file
+      | line :: tl ->
+        rest := tl;
+        line)
+
+(* Stage into a temp file in the destination directory and rename, so a
+   crash mid-write can never leave a truncated, unloadable profile at
+   the destination path. *)
 let save_file p path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save p oc)
+  let tmp =
+    Filename.temp_file
+      ~temp_dir:(Filename.dirname path)
+      "statsim-profile" ".tmp"
+  in
+  match
+    let oc = open_out tmp in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> save p oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let load_file path =
   let ic = open_in path in

@@ -15,7 +15,20 @@ val load : in_channel -> Stat_profile.t
 (** Raises [Failure] with a line-number diagnostic on malformed input,
     and on an unsupported format version. *)
 
+val to_string : Stat_profile.t -> string
+(** The same format, rendered in memory. The rendering is canonical
+    (nodes sorted by key, edges by successor, histogram support in
+    ascending order), so equal profiles produce identical bytes and
+    [to_string (of_string s) = s] for any saved profile [s]. *)
+
+val of_string : string -> Stat_profile.t
+(** Raises [Failure] like {!load}. *)
+
 val save_file : Stat_profile.t -> string -> unit
+(** Writes via a temp file in the destination directory followed by an
+    atomic rename: a crash mid-write never leaves a truncated profile
+    at [path]. *)
+
 val load_file : string -> Stat_profile.t
 
 val version : int

@@ -1,6 +1,7 @@
 type t = {
   profiles : Profile.Stat_profile.t Memo.t;
   references : Statsim.result Memo.t;
+  store : Store.t option;
 }
 
 type stats = {
@@ -8,31 +9,59 @@ type stats = {
   profile_misses : int;
   reference_hits : int;
   reference_misses : int;
+  store_hits : int;
+  store_misses : int;
+  store_bytes_written : int;
+  store_quarantined : int;
 }
 
-let create () =
+let create ?store () =
   {
     profiles = Memo.create ~name:"cache.profile" ();
     references = Memo.create ~name:"cache.reference" ();
+    store;
   }
 
+let store t = t.store
+
 let stats t =
+  let s =
+    match t.store with
+    | None ->
+      ({ hits = 0; misses = 0; bytes_written = 0; quarantined = 0 }
+        : Store.stats)
+    | Some s -> Store.stats s
+  in
   {
     profile_hits = Memo.hits t.profiles;
     profile_misses = Memo.misses t.profiles;
     reference_hits = Memo.hits t.references;
     reference_misses = Memo.misses t.references;
+    store_hits = s.Store.hits;
+    store_misses = s.Store.misses;
+    store_bytes_written = s.Store.bytes_written;
+    store_quarantined = s.Store.quarantined;
   }
 
-(* Config.Machine.t is a closed record of scalars and variants, so a
-   marshalled-bytes digest is a faithful content key. *)
+(* The canonical textual rendering is exhaustive and stable across OCaml
+   versions, unlike Marshal bytes — a requirement now that keys outlive
+   the process in the on-disk store. *)
 let cfg_key (cfg : Config.Machine.t) =
-  Digest.to_hex (Digest.string (Marshal.to_string cfg []))
+  Digest.to_hex (Digest.string (Config.Machine.canonical cfg))
 
 let mode_key = function
   | Profile.Branch_profiler.Immediate -> "imm"
   | Profile.Branch_profiler.Delayed { fifo_size; squash_refetch } ->
     Printf.sprintf "del%d%c" fifo_size (if squash_refetch then 's' else 'm')
+
+(* Second cache tier: in-memory memo first, then the on-disk store, then
+   compute. The store key carries an artifact-kind prefix and the codec
+   format version, so incompatible renderings never collide. *)
+let tiered memo store_opt ~key ~store_key ~encode ~decode compute =
+  Memo.get memo ~key (fun () ->
+      match store_opt with
+      | None -> compute ()
+      | Some s -> Store.get_or_compute s ~key:store_key ~encode ~decode compute)
 
 let profile t ?(k = 1) ?(dep_cap = Profile.Sfg.dep_cap) ?branch_mode
     ?(perfect_caches = false) ?(perfect_bpred = false) cfg ~stream_key mk =
@@ -45,7 +74,15 @@ let profile t ?(k = 1) ?(dep_cap = Profile.Sfg.dep_cap) ?branch_mode
     Printf.sprintf "%s|%s|k=%d|cap=%d|%s|pc=%b|pb=%b" stream_key (cfg_key cfg)
       k dep_cap (mode_key branch_mode) perfect_caches perfect_bpred
   in
-  Memo.get t.profiles ~key (fun () ->
+  tiered t.profiles t.store ~key
+    ~store_key:
+      (Printf.sprintf "profile/fmt%d/%s" Profile.Serialize.version key)
+    ~encode:Profile.Serialize.to_string
+    ~decode:(fun s ->
+      match Profile.Serialize.of_string s with
+      | p -> Ok p
+      | exception Failure msg -> Error msg)
+    (fun () ->
       Profile.Stat_profile.collect ~k ~dep_cap ~branch_mode ~perfect_caches
         ~perfect_bpred cfg (mk ()))
 
@@ -56,6 +93,14 @@ let reference t ?max_instructions ?(perfect_caches = false)
       (match max_instructions with None -> "-" | Some n -> string_of_int n)
       perfect_caches perfect_bpred
   in
-  Memo.get t.references ~key (fun () ->
+  tiered t.references t.store ~key
+    ~store_key:
+      (Printf.sprintf "reference/fmt%d/%s" Uarch.Metrics.wire_version key)
+    ~encode:(fun (r : Statsim.result) -> Uarch.Metrics.encode r.metrics)
+    ~decode:(fun s ->
+      match Uarch.Metrics.decode s with
+      | m -> Ok (Statsim.result_of_metrics cfg m)
+      | exception Failure msg -> Error msg)
+    (fun () ->
       Statsim.reference ?max_instructions ~perfect_caches ~perfect_bpred cfg
         (mk ()))

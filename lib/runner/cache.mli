@@ -6,6 +6,14 @@
     one-time profiling cost over a design-space exploration, applied to
     the reproduction harness itself.
 
+    Lookups go through two tiers: the in-process {!Memo} tables first,
+    then (when the cache was created with one) the persistent
+    content-addressed {!Store}, and only then compute. The store makes
+    profile-once / simulate-many hold across process boundaries: a
+    fresh invocation answers from disk instead of re-simulating. A
+    store entry that fails verification is quarantined and recomputed —
+    never fatal.
+
     Callers identify the instruction stream with an explicit
     [stream_key] (workload name, suite, seed offset, length, phasing —
     whatever determines the generated stream) and pass a thunk that
@@ -19,13 +27,23 @@ type stats = {
   profile_misses : int;
   reference_hits : int;
   reference_misses : int;
+  store_hits : int;  (** lookups answered by the persistent store *)
+  store_misses : int;  (** store lookups that fell through to compute *)
+  store_bytes_written : int;
+  store_quarantined : int;
 }
 
-val create : unit -> t
+val create : ?store:Store.t -> unit -> t
+(** Without [store] the cache is purely in-memory (PR 1 behaviour). *)
+
+val store : t -> Store.t option
 val stats : t -> stats
+(** Store counters are all 0 when the cache has no store. *)
 
 val cfg_key : Config.Machine.t -> string
-(** Content digest of a machine configuration. *)
+(** Content digest of a machine configuration, derived from
+    {!Config.Machine.canonical} — stable across processes and OCaml
+    versions, so it is safe in persistent store keys. *)
 
 val profile :
   t ->
@@ -53,4 +71,6 @@ val reference :
   stream_key:string ->
   (unit -> unit -> Isa.Dyn_inst.t option) ->
   Statsim.result
-(** Memoized {!Statsim.reference} (execution-driven simulation). *)
+(** Memoized {!Statsim.reference} (execution-driven simulation). Only
+    the integer pipeline metrics are persisted; the derived floats are
+    recomputed from them, bit-identical to the uncached run. *)

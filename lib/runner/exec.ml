@@ -6,9 +6,18 @@ let span_plan = Telemetry.span "runner.plan"
 let span_job = Telemetry.span "runner.job"
 let g_domains = Telemetry.gauge "runner.domains"
 
-let create_ctx ?jobs () =
+let default_cache_dir () =
+  match Sys.getenv_opt "REPRO_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | Some _ | None -> None
+
+let create_ctx ?jobs ?cache_dir () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  { cache = Cache.create (); jobs = max 1 jobs }
+  let cache_dir =
+    match cache_dir with Some _ -> cache_dir | None -> default_cache_dir ()
+  in
+  let store = Option.map Store.open_root cache_dir in
+  { cache = Cache.create ?store (); jobs = max 1 jobs }
 
 let run ctx (Plan.Pack p) =
   Telemetry.set_gauge g_domains (float_of_int ctx.jobs);

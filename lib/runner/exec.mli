@@ -5,9 +5,12 @@
 
 type ctx = { cache : Cache.t; jobs : int }
 
-val create_ctx : ?jobs:int -> unit -> ctx
+val create_ctx : ?jobs:int -> ?cache_dir:string -> unit -> ctx
 (** [jobs] defaults to [REPRO_JOBS] (see {!Pool.default_jobs}); it is
-    clamped to at least 1. *)
+    clamped to at least 1. [cache_dir] defaults to [REPRO_CACHE_DIR];
+    when set (either way), the memo cache is backed by a persistent
+    {!Store} rooted there, so profiles and EDS references are shared
+    across processes. *)
 
 val run : ctx -> Plan.t -> Report.t
 (** Execute the plan's jobs on the pool ([ctx.jobs] workers, serial when

@@ -21,6 +21,98 @@ let avg_ruu_occupancy t = Power.Activity.avg_ruu_occupancy t.activity
 let avg_lsq_occupancy t = Power.Activity.avg_lsq_occupancy t.activity
 let avg_ifq_occupancy t = Power.Activity.avg_ifq_occupancy t.activity
 
+(* Wire format for persistent artifact stores. All fields are integers,
+   so a textual rendering round-trips exactly; derived floats (IPC, EPC,
+   EDP) are recomputed from these counters and therefore also match the
+   uncached run bit for bit. *)
+let wire_version = 1
+
+let encode (t : t) =
+  let a = t.activity in
+  Printf.sprintf
+    "statsim-metrics %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d \
+     %d %d %d %d %d %d %d"
+    wire_version t.cycles t.committed t.branches t.mispredicts t.redirects
+    t.taken t.loads t.stores a.Power.Activity.cycles a.fetched a.bpred_lookups
+    a.dispatched a.issued a.completed a.committed a.icache_accesses
+    a.dcache_accesses a.l2_accesses a.int_alu_ops a.int_mult_ops a.fp_ops
+    a.mem_ops a.ruu_occupancy_sum a.lsq_occupancy_sum a.ifq_occupancy_sum
+
+let decode s =
+  let fail msg = failwith ("Metrics.decode: " ^ msg) in
+  match String.split_on_char ' ' s |> List.filter (fun x -> x <> "") with
+  | "statsim-metrics" :: rest -> (
+    let fields =
+      List.map
+        (fun x ->
+          match int_of_string_opt x with
+          | Some v -> v
+          | None -> fail ("not an integer: " ^ x))
+        rest
+    in
+    match fields with
+    | v :: _ when v <> wire_version ->
+      fail (Printf.sprintf "unsupported wire version %d" v)
+    | [
+     _version;
+     cycles;
+     committed;
+     branches;
+     mispredicts;
+     redirects;
+     taken;
+     loads;
+     stores;
+     a_cycles;
+     fetched;
+     bpred_lookups;
+     dispatched;
+     issued;
+     completed;
+     a_committed;
+     icache_accesses;
+     dcache_accesses;
+     l2_accesses;
+     int_alu_ops;
+     int_mult_ops;
+     fp_ops;
+     mem_ops;
+     ruu_occupancy_sum;
+     lsq_occupancy_sum;
+     ifq_occupancy_sum;
+    ] ->
+      let activity = Power.Activity.create () in
+      activity.cycles <- a_cycles;
+      activity.fetched <- fetched;
+      activity.bpred_lookups <- bpred_lookups;
+      activity.dispatched <- dispatched;
+      activity.issued <- issued;
+      activity.completed <- completed;
+      activity.committed <- a_committed;
+      activity.icache_accesses <- icache_accesses;
+      activity.dcache_accesses <- dcache_accesses;
+      activity.l2_accesses <- l2_accesses;
+      activity.int_alu_ops <- int_alu_ops;
+      activity.int_mult_ops <- int_mult_ops;
+      activity.fp_ops <- fp_ops;
+      activity.mem_ops <- mem_ops;
+      activity.ruu_occupancy_sum <- ruu_occupancy_sum;
+      activity.lsq_occupancy_sum <- lsq_occupancy_sum;
+      activity.ifq_occupancy_sum <- ifq_occupancy_sum;
+      {
+        cycles;
+        committed;
+        activity;
+        branches;
+        mispredicts;
+        redirects;
+        taken;
+        loads;
+        stores;
+      }
+    | _ -> fail "wrong field count")
+  | _ -> fail "missing statsim-metrics header"
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<h>IPC=%.3f (%d insts / %d cycles) MPKI=%.2f occ: RUU=%.1f LSQ=%.1f \

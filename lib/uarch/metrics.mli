@@ -23,4 +23,16 @@ val mpki : t -> float
 val avg_ruu_occupancy : t -> float
 val avg_lsq_occupancy : t -> float
 val avg_ifq_occupancy : t -> float
+
+val wire_version : int
+(** Version of the {!encode} rendering; part of persistent cache keys. *)
+
+val encode : t -> string
+(** Exact textual rendering (every field is an integer) for persistent
+    artifact stores. *)
+
+val decode : string -> t
+(** Inverse of {!encode}; raises [Failure] on malformed input or a
+    different {!wire_version}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -89,13 +89,57 @@ let test_simulation_equivalence () =
   Alcotest.(check (float 1e-12)) "same EPC" a.epc b.epc
 
 let test_save_deterministic_modulo_order () =
-  (* node records may be emitted in hash order; fidelity is checked via
-     the structural round-trip, but a double round-trip must be stable *)
+  (* the rendering is canonical (sorted nodes/edges), so a double
+     round-trip is byte-stable, not just structurally stable *)
   let p = make_profile "gzip" ~len:5_000 in
   let q = roundtrip p in
   let r = roundtrip q in
   Alcotest.(check int) "stable node count" (Profile.Sfg.node_count q.sfg)
-    (Profile.Sfg.node_count r.sfg)
+    (Profile.Sfg.node_count r.sfg);
+  Alcotest.(check string) "byte-stable" (Profile.Serialize.to_string q)
+    (Profile.Serialize.to_string r)
+
+(* save -> load -> save must be byte-identical for any profile: the
+   property a persistent content-addressed cache depends on (an entry
+   re-encoded after a round-trip must hash to the same bytes). The
+   generator varies workload, stream length, SFG order and the in-order
+   flag (which switches on WAW/WAR histograms). *)
+let test_roundtrip_byte_identical =
+  let gen =
+    QCheck.Gen.(
+      quad
+        (oneofl [ "gcc"; "gzip"; "twolf"; "vpr"; "vortex" ])
+        (int_range 1_000 6_000) (int_range 0 2) bool)
+  in
+  let arb =
+    QCheck.make gen ~print:(fun (b, n, k, io) ->
+        Printf.sprintf "bench=%s len=%d k=%d in_order=%b" b n k io)
+  in
+  QCheck.Test.make ~count:8 ~name:"serialize: save->load->save byte-identical"
+    arb
+    (fun (bench, len, k, in_order) ->
+      let cfg = if in_order then Config.Machine.in_order_variant cfg else cfg in
+      let p =
+        Statsim.profile ~k cfg
+          (Workload.Suite.stream (Workload.Suite.find bench) ~length:len)
+      in
+      let s1 = Profile.Serialize.to_string p in
+      let s2 = Profile.Serialize.to_string (Profile.Serialize.of_string s1) in
+      s1 = s2)
+
+let test_string_channel_agree () =
+  (* the in-memory codec and the channel codec are the same format *)
+  let p = make_profile "parser" ~len:4_000 in
+  let path = Filename.temp_file "statsim_profile" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Profile.Serialize.save_file p path;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "identical bytes" (Profile.Serialize.to_string p)
+        s)
 
 let test_bad_input_rejected () =
   let path = Filename.temp_file "statsim_bad" ".txt" in
@@ -133,6 +177,9 @@ let suite =
     Alcotest.test_case "simulation equivalence" `Quick test_simulation_equivalence;
     Alcotest.test_case "double roundtrip stable" `Quick
       test_save_deterministic_modulo_order;
+    QCheck_alcotest.to_alcotest test_roundtrip_byte_identical;
+    Alcotest.test_case "string/channel codecs agree" `Quick
+      test_string_channel_agree;
     Alcotest.test_case "garbage rejected" `Quick test_bad_input_rejected;
     Alcotest.test_case "bad version rejected" `Quick test_bad_version_rejected;
   ]
