@@ -177,6 +177,25 @@ let summary_json ts =
       ( "total_seconds",
         Num (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 ts) );
       ("stages", stages_json snap);
+      (* distribution instruments (dependency distances, redirect run
+         lengths, pipeline occupancies): totals and means only — the
+         full bucket vectors live in the telemetry snapshot *)
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (h : Telemetry.histogram_stat) ->
+               ( h.Telemetry.hist_name,
+                 Obj
+                   [
+                     ("count", Num (float_of_int h.Telemetry.count));
+                     ( "mean",
+                       Num
+                         (if h.Telemetry.count = 0 then 0.0
+                          else
+                            float_of_int h.Telemetry.sum
+                            /. float_of_int h.Telemetry.count) );
+                   ] ))
+             snap.Telemetry.histograms) );
       ( "cache",
         Obj
           [

@@ -90,11 +90,15 @@ let checks =
         })
       [ "hits"; "misses"; "bytes_written"; "quarantined" ]
 
-type verdict = Ok_ | Regressed | Missing
+type verdict = Ok_ | Regressed | Missing | New
 
 let evaluate ~threshold ~baseline ~current check =
   match (num_field baseline check.path, num_field current check.path) with
-  | None, _ -> (check, nan, nan, Missing)
+  (* a metric the baseline predates (new summary sections land before
+     the baseline is regenerated) is informational, not a failure; a
+     metric missing from the *current* run still fails — the harness
+     stopped producing it *)
+  | None, _ -> (check, nan, nan, New)
   | Some b, None -> (check, b, nan, Missing)
   | Some b, Some c ->
     let delta = c -. b in
@@ -160,6 +164,7 @@ let () =
         | Missing ->
           incr failures;
           "MISSING"
+        | New -> "new (no baseline)"
       in
       Printf.printf "  %-34s %12s %12s %9s  %s\n" check.label (fmt b) (fmt c)
         delta status)

@@ -3,6 +3,7 @@
    Subcommands:
      simulate    run statistical and/or execution-driven simulation
      profile     print statistical-profile facts (SFG size, MPKI, ...)
+     diag        profile-vs-synthetic-trace divergence diagnostics
      experiment  regenerate one of the paper's tables/figures
      list        list workloads and experiments *)
 
@@ -95,6 +96,102 @@ let force_arg =
   let doc = "Overwrite an existing output file." in
   Arg.(value & flag & info [ "force" ] ~doc)
 
+(* --- fidelity observatory: statsim diag --- *)
+
+let diag_cmd =
+  let run bench length syn reduction seed k profile_file json check eds =
+    let cfg = Config.Machine.baseline in
+    let p =
+      match profile_file with
+      | Some path ->
+        let p = Profile.Serialize.load_file path in
+        (match k with
+        | Some k when k <> p.Profile.Stat_profile.k ->
+          Printf.eprintf
+            "warning: -k %d ignored: profile %s was collected with k=%d\n" k
+            path p.Profile.Stat_profile.k
+        | Some _ | None -> ());
+        p
+      | None ->
+        let spec = spec_of_name bench in
+        Statsim.profile
+          ~k:(Option.value k ~default:1)
+          cfg
+          (Workload.Suite.stream spec ~length)
+    in
+    let tr =
+      match reduction with
+      | Some r -> Synth.Generate.generate ~reduction:r p ~seed
+      | None -> Synth.Generate.generate ~target_length:syn p ~seed
+    in
+    let d = Diag.compare ~label:bench p tr in
+    let metrics =
+      if not eds then None
+      else begin
+        let spec = spec_of_name bench in
+        let eds_res =
+          Statsim.reference cfg (Workload.Suite.stream spec ~length)
+        in
+        let syn_m = Synth.Run.run cfg tr in
+        Some
+          (Diag.compare_metrics ~eds:eds_res.Statsim.metrics ~synthetic:syn_m)
+      end
+    in
+    if json then
+      print_string (Telemetry.Json.to_string (Diag.to_json ?metrics d) ^ "\n")
+    else print_string (Diag.render_text ?metrics d);
+    match check with
+    | None -> ()
+    | Some eps -> (
+      match Diag.worst d with
+      | Some w when w.Diag.max_delta > eps ->
+        Printf.eprintf "diag check FAILED: %s max|dP| = %.5f > %.5f\n"
+          w.Diag.f_name w.Diag.max_delta eps;
+        exit 1
+      | Some w ->
+        (* stderr: --json must stay a single clean document on stdout *)
+        Printf.eprintf "diag check passed: worst %s max|dP| = %.5f <= %.5f\n"
+          w.Diag.f_name w.Diag.max_delta eps
+      | None ->
+        prerr_endline "diag check FAILED: no features compared";
+        exit 1)
+  in
+  let reduction_arg =
+    let doc =
+      "Generate with reduction factor $(docv) instead of a target length \
+       ($(b,-R 1) replays the whole profile; the CI self-check uses it)."
+    in
+    Arg.(value & opt (some int) None & info [ "R"; "reduction" ] ~docv:"R" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as a JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Exit non-zero unless every feature's max absolute probability delta \
+       is at most $(docv) — the CI fidelity gate."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "check" ] ~docv:"EPS" ~doc)
+  in
+  let eds_arg =
+    let doc =
+      "Also run the execution-driven reference and the synthetic trace \
+       through the pipeline and report IPC, occupancy and per-cause \
+       dispatch-stall deltas."
+    in
+    Arg.(value & flag & info [ "eds" ] ~doc)
+  in
+  let doc =
+    "compare a synthetic trace's distributions against its statistical \
+     profile (KL divergence, chi-square, max probability delta per feature)"
+  in
+  Cmd.v (Cmd.info "diag" ~doc)
+    Term.(
+      const run $ bench_arg $ length_arg $ syn_arg $ reduction_arg $ seed_arg
+      $ k_opt_arg $ load_arg $ json_arg $ check_arg $ eds_arg)
+
 let profile_cmd =
   let run bench length k save force =
     (* fail on a clobber before paying for the profiling pass *)
@@ -176,9 +273,10 @@ let cache_dir_arg =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let experiment_cmd =
-  let run ids format jobs telemetry cache_dir =
+  let run ids format jobs telemetry cache_dir trace_out diag =
     let ppf = Format.std_formatter in
     if telemetry then Telemetry.set_enabled true;
+    if trace_out <> None then Telemetry.set_capture true;
     let entries =
       match ids with
       | [] -> Experiments.Registry.all
@@ -197,23 +295,70 @@ let experiment_cmd =
     let ctx = Runner.Exec.create_ctx ?jobs ?cache_dir () in
     List.iter
       (fun (e : Experiments.Registry.entry) ->
-        Runner.Report.render format ppf (Runner.Exec.run ctx e.plan))
+        Runner.Report.render format ppf
+          (Runner.Exec.run ~label:e.id ctx e.plan))
       entries;
+    if diag then begin
+      let cfg = Config.Machine.baseline in
+      List.iter
+        (fun (spec : Workload.Spec.t) ->
+          let p =
+            Experiments.Exp_common.profile ctx.Runner.Exec.cache cfg
+              (Experiments.Exp_common.src spec)
+          in
+          let tr =
+            Synth.Generate.generate
+              ~target_length:Experiments.Exp_common.syn_length p
+              ~seed:Experiments.Exp_common.seed
+          in
+          let d = Diag.compare ~label:spec.Workload.Spec.name p tr in
+          match format with
+          | Runner.Report.Json ->
+            print_string (Telemetry.Json.to_string (Diag.to_json d) ^ "\n")
+          | Runner.Report.Text | Runner.Report.Csv ->
+            print_string (Diag.render_text d))
+        Experiments.Exp_common.benches
+    end;
     if Telemetry.enabled () then begin
       let snap = Telemetry.snapshot () in
-      match format with
+      (match format with
       | Runner.Report.Json -> print_string (Telemetry.render_json snap)
-      | Runner.Report.Text | Runner.Report.Csv -> Telemetry.render_text ppf snap
-    end
+      | Runner.Report.Text | Runner.Report.Csv -> Telemetry.render_text ppf snap);
+    end;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Telemetry.Json.to_string (Telemetry.chrome_trace ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "Chrome trace written to %s (load in chrome://tracing)\n"
+        path
   in
   let ids_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment id(s).")
+  in
+  let trace_out_arg =
+    let doc =
+      "Capture per-job runner spans and write them to $(docv) as Chrome \
+       trace-event JSON (one track per worker domain; open in \
+       chrome://tracing or Perfetto)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let diag_arg =
+    let doc =
+      "After the reports, print a fidelity-observatory divergence report \
+       (see $(b,statsim diag)) for every selected workload."
+    in
+    Arg.(value & flag & info [ "diag" ] ~doc)
   in
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ trace_out_arg $ diag_arg)
 
 let dot_cmd =
   let run bench length k cfg_out sfg_out =
@@ -328,5 +473,5 @@ let () =
   let doc = "statistical simulation for processor design studies (ISCA 2004 reproduction)" in
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ simulate_cmd; profile_cmd; experiment_cmd; cache_cmd; dot_cmd;
-         list_cmd ]))
+       [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; cache_cmd;
+         dot_cmd; list_cmd ]))

@@ -1,0 +1,85 @@
+(** Fidelity observatory: divergence diagnostics between a statistical
+    profile and the synthetic trace generated from it.
+
+    Section 2 of the paper argues the synthetic trace is faithful
+    exactly when its distributions match the profile's: instruction
+    class mix, per-slot operand counts, dependency-distance histograms,
+    SFG transition frequencies and the branch / cache locality event
+    rates. This module measures each of those as a pair of keyed count
+    distributions and reports, per feature, the KL divergence, the
+    chi-square statistic and the maximum absolute probability delta —
+    so a fidelity regression names the distribution that drifted
+    instead of just moving an end-to-end IPC number. *)
+
+(** One compared distribution. [expected] comes from the profile,
+    [observed] from the synthetic trace; totals are the raw count
+    masses behind each side. *)
+type feature = {
+  f_name : string;
+  expected_total : float;
+  observed_total : float;
+  support : int;  (** distinct keys across both sides *)
+  kl : float;
+      (** D(observed ‖ expected) in nats, with add-one-epsilon
+          smoothing so an empty-on-one-side key stays finite *)
+  chi_square : float;
+      (** Pearson chi-square of the observed counts against the
+          expected distribution scaled to the observed total *)
+  max_delta : float;
+      (** max over keys of |P_observed - P_expected|; in [0, 1] and
+          0 when either side is empty *)
+}
+
+type t = {
+  label : string;
+  instructions_expected : int;
+  instructions_observed : int;
+  features : feature list;
+}
+
+val feature_of_counts :
+  name:string ->
+  expected:(string * float) list ->
+  observed:(string * float) list ->
+  feature
+(** Build one feature from two keyed count lists (duplicate keys are
+    summed; non-positive counts ignored). Exposed for tests and for
+    callers with their own distributions. *)
+
+val compare :
+  ?label:string -> Profile.Stat_profile.t -> Synth.Trace.t -> t
+(** The observatory proper: extract every paper-mandated distribution
+    from both sides and diff them. Features reported: [mix] (class
+    frequencies), [operands] (per-slot source-operand counts),
+    [dep_distance] (pooled dependency-distance histogram),
+    [sfg_edges] (block-to-block transition frequencies between
+    distinct blocks; same-block repeats are invisible in a flat
+    trace), and the Bernoulli event rates [taken], [mispredict],
+    [redirect], [l1i], [l2i], [itlb], [l1d], [l2d], [dtlb]. *)
+
+val worst : t -> feature option
+(** The feature with the largest [max_delta] — what [--check] gates
+    on. [None] when there are no features. *)
+
+(** EDS-vs-synthetic simulation outcome comparison: where the paper's
+    Section 4 reports IPC error, this also attributes it — which
+    stall cause or occupancy absorbed the difference. *)
+type metric_delta = {
+  m_name : string;
+  m_eds : float;
+  m_synthetic : float;
+  m_delta : float;  (** absolute difference *)
+}
+
+val compare_metrics :
+  eds:Uarch.Metrics.t -> synthetic:Uarch.Metrics.t -> metric_delta list
+(** IPC, MPKI, mean RUU/LSQ/IFQ occupancy, the dispatch-stall cycle
+    fraction and the per-cause stall fractions (each cause's cycles
+    over total cycles) for both runs. *)
+
+val render_text : ?metrics:metric_delta list -> t -> string
+(** Human-readable report: one line per feature plus the optional
+    EDS-vs-synthetic metric table. *)
+
+val to_json : ?metrics:metric_delta list -> t -> Telemetry.Json.t
+(** The same report as a JSON document under key ["diag"]. *)

@@ -19,13 +19,19 @@ let create_ctx ?jobs ?cache_dir () =
   let store = Option.map Store.open_root cache_dir in
   { cache = Cache.create ?store (); jobs = max 1 jobs }
 
-let run ctx (Plan.Pack p) =
+let run ?(label = "plan") ctx (Plan.Pack p) =
   Telemetry.set_gauge g_domains (float_of_int ctx.jobs);
   Telemetry.time span_plan (fun () ->
       let jobs = p.jobs () in
       let results =
         Pool.map ~jobs:ctx.jobs
-          (fun job -> Telemetry.time span_job (fun () -> p.exec ctx.cache job))
-          jobs
+          (fun (i, job) ->
+            Telemetry.time span_job (fun () ->
+                if Telemetry.capturing () then
+                  Telemetry.with_event
+                    (Printf.sprintf "%s.job%d" label i)
+                    (fun () -> p.exec ctx.cache job)
+                else p.exec ctx.cache job))
+          (Array.mapi (fun i job -> (i, job)) jobs)
       in
       p.reduce jobs results)

@@ -12,7 +12,10 @@ val create_ctx : ?jobs:int -> ?cache_dir:string -> unit -> ctx
     {!Store} rooted there, so profiles and EDS references are shared
     across processes. *)
 
-val run : ctx -> Plan.t -> Report.t
+val run : ?label:string -> ctx -> Plan.t -> Report.t
 (** Execute the plan's jobs on the pool ([ctx.jobs] workers, serial when
     1) and reduce the index-ordered results. Identical rows for any
-    worker count. *)
+    worker count. When {!Telemetry.set_capture} is on, each job is
+    additionally recorded as a trace event named ["<label>.job<i>"]
+    (default label ["plan"]) so the Chrome-trace export shows one slice
+    per job on its worker domain's track. *)

@@ -90,17 +90,28 @@ let rebuild h =
   h.cdf_cum <- cum;
   h.dirty <- false
 
-let sample h rng =
-  if h.total = 0 then invalid_arg "Histogram.sample: empty";
+(* smallest support value whose cumulative count reaches [x] in [1, total] *)
+let value_at_cum h x =
   if h.dirty then rebuild h;
-  let x = 1 + Prng.int rng h.total in
-  (* smallest index with cumulative >= x *)
   let lo = ref 0 and hi = ref (Array.length h.cdf_cum - 1) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
     if h.cdf_cum.(mid) >= x then hi := mid else lo := mid + 1
   done;
   h.cdf_values.(!lo)
+
+let sample h rng =
+  if h.total = 0 then invalid_arg "Histogram.sample: empty";
+  value_at_cum h (1 + Prng.int rng h.total)
+
+let percentile h p =
+  if h.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if not (Float.is_finite p) || p < 0.0 || p > 1.0 then
+    invalid_arg "Histogram.percentile: p out of [0, 1]";
+  (* nearest-rank: the smallest value covering ceil(p * total)
+     observations; p = 0 is the minimum, p = 1 the maximum *)
+  let rank = int_of_float (Float.ceil (p *. float_of_int h.total)) in
+  value_at_cum h (max 1 (min h.total rank))
 
 let merge dst src =
   Hashtbl.iter (fun v r -> add_many dst v !r) src.counts

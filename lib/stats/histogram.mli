@@ -42,8 +42,19 @@ val sample : t -> Prng.t -> int
 (** Draw a value with probability proportional to its count, using the
     cumulative distribution. Raises [Invalid_argument] if empty. *)
 
+val percentile : t -> float -> int
+(** [percentile h p] is the nearest-rank [p]-quantile for [p] in
+    [\[0, 1\]]: the smallest observed value covering at least
+    [ceil (p *. total)] observations ([p = 0] is the minimum, [p = 1]
+    the maximum). Unlike {!mean}, which silently returns 0 for an empty
+    histogram, this raises [Invalid_argument] when the histogram is
+    empty (or [p] is outside [\[0, 1\]]) — an empty distribution has no
+    quantiles. *)
+
 val merge : t -> t -> unit
-(** [merge dst src] adds all of [src]'s observations into [dst]. *)
+(** [merge dst src] adds all of [src]'s observations into [dst] —
+    how diag pools the per-domain / per-slot histograms before
+    computing divergences. *)
 
 val copy : t -> t
 

@@ -11,6 +11,14 @@ let span_generate = Telemetry.span "synth.generate"
 let span_reduce = Telemetry.span "synth.reduce"
 let c_instructions = Telemetry.counter "synth.instructions"
 
+(* Distribution telemetry for the fidelity observatory: the dependency
+   distances actually emitted (after the retry/squash rule, so what the
+   simulator will see rather than what the profile stored) and the
+   number of instructions between consecutive fetch-redirecting
+   branches, which bounds the synthetic front-end's useful run length. *)
+let h_dep_distance = Telemetry.histogram "synth.dep_distance"
+let h_redirect_run = Telemetry.histogram "synth.redirect_run"
+
 let dep_retries = 1_000
 
 let sample_flag rng num den =
@@ -65,12 +73,18 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
   (* recent destination-producing status, for the dependency retry rule *)
   let recent_has_dest = Array.make (Profile.Sfg.dep_cap + 1) true in
   let pos = ref 0 in
+  let redirect_run = ref 0 in
   let emit_inst (i : Trace.inst) =
     out := i :: !out;
     recent_has_dest.(!pos mod (Profile.Sfg.dep_cap + 1)) <-
       Isa.Iclass.has_dest i.klass;
     incr pos;
-    incr emitted
+    incr emitted;
+    (match i.branch with
+    | Some b when b.Trace.redirect ->
+      Telemetry.observe h_redirect_run !redirect_run;
+      redirect_run := 0
+    | _ -> incr redirect_run)
   in
   let producer_has_dest delta =
     let target = !pos - delta in
@@ -86,7 +100,9 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
           let delta = Stats.Histogram.sample hist rng in
           if producer_has_dest delta then delta else try_draw (n - 1)
       in
-      try_draw dep_retries
+      let delta = try_draw dep_retries in
+      Telemetry.observe h_dep_distance delta;
+      delta
     end
   in
   let emit_block (rn : rnode) =

@@ -250,10 +250,24 @@ type span = span_cell
 type counter = { c_name : string; count : int Atomic.t }
 type gauge = { g_name : string; value : float Atomic.t }
 
+(* Power-of-two buckets: index 0 holds the value 0, index i >= 1 holds
+   [2^(i-1), 2^i - 1]; the last bucket absorbs everything larger. 32
+   buckets cover values up to 2^30 and beyond by clamping. Each bucket
+   and the value sum are independent atomics, so concurrent observers
+   never lose an observation. *)
+let hist_buckets = 32
+
+type histogram = {
+  h_name : string;
+  cells : int Atomic.t array;  (* length hist_buckets *)
+  h_sum : int Atomic.t;
+}
+
 let registry_mutex = Mutex.create ()
 let span_tbl : (string, span) Hashtbl.t = Hashtbl.create 32
 let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauge_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 8
+let hist_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 8
 
 let intern tbl name mk =
   Mutex.lock registry_mutex;
@@ -283,16 +297,96 @@ let counter name =
 let gauge name =
   intern gauge_tbl name (fun () -> { g_name = name; value = Atomic.make 0.0 })
 
+let histogram name =
+  intern hist_tbl name (fun () ->
+      {
+        h_name = name;
+        cells = Array.init hist_buckets (fun _ -> Atomic.make 0);
+        h_sum = Atomic.make 0;
+      })
+
+let bucket_index v =
+  if v <= 0 then 0
+  else
+    let rec log2 v acc = if v = 0 then acc else log2 (v lsr 1) (acc + 1) in
+    min (log2 v 0) (hist_buckets - 1)
+
+let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
+
+let observe_many h v n =
+  if n > 0 && Atomic.get enabled_flag then begin
+    let v = if v < 0 then 0 else v in
+    ignore (Atomic.fetch_and_add h.cells.(bucket_index v) n);
+    ignore (Atomic.fetch_and_add h.h_sum (v * n))
+  end
+
+let observe h v = observe_many h v 1
+
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.cells
+
 let rec store_max cell v =
   let cur = Atomic.get cell in
   if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
+
+(* --- event capture --- *)
+
+type event = {
+  ev_name : string;
+  ev_start_ns : int;
+  ev_dur_ns : int;
+  ev_tid : int;
+}
+
+let capture_flag = Atomic.make false
+let events_mutex = Mutex.create ()
+let captured : event list ref = ref []
+
+let capturing () = Atomic.get capture_flag
+
+let push_event name ~t0 ~dt =
+  let ev =
+    {
+      ev_name = name;
+      ev_start_ns = Int64.to_int t0;
+      ev_dur_ns = dt;
+      ev_tid = (Domain.self () :> int);
+    }
+  in
+  Mutex.lock events_mutex;
+  captured := ev :: !captured;
+  Mutex.unlock events_mutex
+
+let clear_events () =
+  Mutex.lock events_mutex;
+  captured := [];
+  Mutex.unlock events_mutex
+
+let set_capture b =
+  if b then begin
+    clear_events ();
+    Atomic.set enabled_flag true
+  end;
+  Atomic.set capture_flag b
+
+let events () =
+  Mutex.lock events_mutex;
+  let evs = !captured in
+  Mutex.unlock events_mutex;
+  List.sort
+    (fun a b ->
+      match compare a.ev_start_ns b.ev_start_ns with
+      | 0 -> compare b.ev_dur_ns a.ev_dur_ns (* enclosing span first *)
+      | c -> c)
+    evs
 
 let record sp ~t0 =
   let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
   let dt = if dt < 0 then 0 else dt in
   ignore (Atomic.fetch_and_add sp.calls 1);
   ignore (Atomic.fetch_and_add sp.total_ns dt);
-  store_max sp.max_ns dt
+  store_max sp.max_ns dt;
+  if Atomic.get capture_flag then push_event sp.s_name ~t0 ~dt
 
 let time sp f =
   if not (Atomic.get enabled_flag) then f ()
@@ -317,6 +411,22 @@ let start () =
 
 let stop sp t0 = if not (Int64.equal t0 no_timer) then record sp ~t0
 
+let with_event name f =
+  if not (Atomic.get capture_flag) then f ()
+  else begin
+    let t0 = Monotonic_clock.now () in
+    match f () with
+    | v ->
+      let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+      push_event name ~t0 ~dt:(max 0 dt);
+      v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      let dt = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
+      push_event name ~t0 ~dt:(max 0 dt);
+      Printexc.raise_with_backtrace exn bt
+  end
+
 let add c n =
   if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.count n)
 
@@ -333,10 +443,18 @@ type span_stat = {
   max_ns : int;
 }
 
+type histogram_stat = {
+  hist_name : string;
+  count : int;
+  sum : int;
+  buckets : (int * int) list;
+}
+
 type snapshot = {
   spans : span_stat list;
   counters : (string * int) list;
   gauges : (string * float) list;
+  histograms : histogram_stat list;
 }
 
 let by_name tbl read =
@@ -362,8 +480,24 @@ let snapshot () =
     by_name gauge_tbl (fun g -> (g.g_name, Atomic.get g.value))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let histograms =
+    by_name hist_tbl (fun h ->
+        let buckets = ref [] and count = ref 0 in
+        for i = hist_buckets - 1 downto 0 do
+          let c = Atomic.get h.cells.(i) in
+          count := !count + c;
+          if c > 0 then buckets := (bucket_lo i, c) :: !buckets
+        done;
+        {
+          hist_name = h.h_name;
+          count = !count;
+          sum = Atomic.get h.h_sum;
+          buckets = !buckets;
+        })
+    |> List.sort (fun a b -> String.compare a.hist_name b.hist_name)
+  in
   Mutex.unlock registry_mutex;
-  { spans; counters; gauges }
+  { spans; counters; gauges; histograms }
 
 let reset () =
   Mutex.lock registry_mutex;
@@ -373,8 +507,13 @@ let reset () =
       Atomic.set s.total_ns 0;
       Atomic.set s.max_ns 0)
     span_tbl;
-  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counter_tbl;
+  Hashtbl.iter (fun _ (c : counter) -> Atomic.set c.count 0) counter_tbl;
   Hashtbl.iter (fun _ g -> Atomic.set g.value 0.0) gauge_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.iter (fun c -> Atomic.set c 0) h.cells;
+      Atomic.set h.h_sum 0)
+    hist_tbl;
   Mutex.unlock registry_mutex
 
 let span_stat snap name =
@@ -420,6 +559,31 @@ let json_of_snapshot snap =
              (fun (name, v) ->
                Json.Obj [ ("name", Json.Str name); ("value", Json.Num v) ])
              snap.gauges) );
+      ( "histograms",
+        Json.Arr
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [
+                   ("name", Json.Str h.hist_name);
+                   ("count", Json.Num (float_of_int h.count));
+                   ("sum", Json.Num (float_of_int h.sum));
+                   ( "mean",
+                     Json.Num
+                       (if h.count = 0 then 0.0
+                        else float_of_int h.sum /. float_of_int h.count) );
+                   ( "buckets",
+                     Json.Arr
+                       (List.map
+                          (fun (lo, c) ->
+                            Json.Obj
+                              [
+                                ("lo", Json.Num (float_of_int lo));
+                                ("count", Json.Num (float_of_int c));
+                              ])
+                          h.buckets) );
+                 ])
+             snap.histograms) );
     ]
 
 let render_json snap =
@@ -429,8 +593,9 @@ let render_text ppf snap =
   let spans = List.filter (fun s -> s.calls > 0) snap.spans in
   let counters = List.filter (fun (_, v) -> v <> 0) snap.counters in
   let gauges = List.filter (fun (_, v) -> v <> 0.0) snap.gauges in
+  let histograms = List.filter (fun h -> h.count > 0) snap.histograms in
   Format.fprintf ppf "telemetry:@.";
-  if spans = [] && counters = [] && gauges = [] then
+  if spans = [] && counters = [] && gauges = [] && histograms = [] then
     Format.fprintf ppf "  (no activity recorded)@."
   else begin
     List.iter
@@ -449,5 +614,62 @@ let render_text ppf snap =
     List.iter
       (fun (name, v) ->
         Format.fprintf ppf "  gauge   %-28s %g@." name v)
-      gauges
+      gauges;
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "  hist    %-28s count %8d  mean %10.2f  %s@."
+          h.hist_name h.count
+          (float_of_int h.sum /. float_of_int (max 1 h.count))
+          (String.concat " "
+             (List.map (fun (lo, c) -> Printf.sprintf "%d:%d" lo c) h.buckets)))
+      histograms
   end
+
+(* --- Chrome trace-event export --- *)
+
+let chrome_trace () =
+  let evs = events () in
+  (* timestamps relative to the earliest event, in microseconds *)
+  let t0 = match evs with [] -> 0 | e :: _ -> e.ev_start_ns in
+  let us ns = float_of_int ns /. 1e3 in
+  let tids =
+    List.fold_left
+      (fun acc e -> if List.mem e.ev_tid acc then acc else e.ev_tid :: acc)
+      [] evs
+    |> List.sort compare
+  in
+  let thread_meta =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num (float_of_int tid));
+            ( "args",
+              Json.Obj
+                [ ("name", Json.Str (Printf.sprintf "domain %d" tid)) ] );
+          ])
+      tids
+  in
+  let spans =
+    List.map
+      (fun e ->
+        Json.Obj
+          [
+            ("name", Json.Str e.ev_name);
+            ("cat", Json.Str "statsim");
+            ("ph", Json.Str "X");
+            ("ts", Json.Num (us (e.ev_start_ns - t0)));
+            ("dur", Json.Num (us e.ev_dur_ns));
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num (float_of_int e.ev_tid));
+          ])
+      evs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (thread_meta @ spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]

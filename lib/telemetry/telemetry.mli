@@ -85,6 +85,64 @@ type gauge
 val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
 
+type histogram
+(** A lock-free bounded-bucket frequency instrument for non-negative
+    integer observations (dependency distances, queue occupancies,
+    run lengths). Buckets are power-of-two ranges: bucket 0 holds the
+    value 0, bucket [i >= 1] holds [2^(i-1) .. 2^i - 1]; values past
+    the last bucket clamp into it. Every bucket is an atomic counter,
+    so totals are exact under the runner's Domain pool; like counters,
+    a disabled histogram costs one atomic flag read per observation. *)
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+(** [observe h v] records one observation of [v] (negative values clamp
+    to 0). No-op while collection is disabled. *)
+
+val observe_many : histogram -> int -> int -> unit
+(** [observe_many h v n] records [n] observations of [v] in one atomic
+    add per bucket. *)
+
+val histogram_count : histogram -> int
+(** Total observations recorded so far (sum over buckets). *)
+
+(** {1 Event capture (Chrome trace export)}
+
+    Orthogonal to metric collection: when capturing is on, every span
+    section additionally appends a timestamped event, so the schedule
+    itself — which domain ran which section when — can be exported as
+    Chrome trace-event JSON and inspected in [chrome://tracing] or
+    Perfetto. Off by default; enabling capture also enables metric
+    collection (events are recorded on the span-stop path). *)
+
+type event = {
+  ev_name : string;
+  ev_start_ns : int;  (** monotonic-clock start, ns *)
+  ev_dur_ns : int;
+  ev_tid : int;  (** numeric id of the recording domain *)
+}
+
+val set_capture : bool -> unit
+(** Enabling clears any previously captured events and switches metric
+    collection on; disabling leaves the captured events readable. *)
+
+val capturing : unit -> bool
+
+val with_event : string -> (unit -> 'a) -> 'a
+(** Run a section under a dynamic (non-interned) name — per-job labels.
+    Records an event only while capturing; otherwise exactly [f ()]. *)
+
+val events : unit -> event list
+(** Captured events sorted by start time. *)
+
+val clear_events : unit -> unit
+
+val chrome_trace : unit -> Json.t
+(** The captured events as a Chrome trace-event document: one complete
+    ("ph":"X") event per span section with microsecond timestamps, one
+    named thread track per domain, under the standard [traceEvents]
+    key. Loadable in [chrome://tracing] and Perfetto. *)
+
 (** {1 Snapshots} *)
 
 type span_stat = {
@@ -94,10 +152,20 @@ type span_stat = {
   max_ns : int;
 }
 
+type histogram_stat = {
+  hist_name : string;
+  count : int;  (** total observations *)
+  sum : int;  (** sum of observed values (mean = sum/count) *)
+  buckets : (int * int) list;
+      (** (bucket lower bound, observations) for non-empty buckets,
+          in increasing bound order *)
+}
+
 type snapshot = {
   spans : span_stat list;
   counters : (string * int) list;
   gauges : (string * float) list;
+  histograms : histogram_stat list;
 }
 (** Every registered instrument (including untouched ones), each section
     sorted by name. *)
@@ -114,9 +182,10 @@ val counter_total : snapshot -> string -> int
 (** {1 Renders} *)
 
 val json_of_snapshot : snapshot -> Json.t
-(** An object with three arrays: [spans] (name, calls, total_ns, max_ns,
-    total_seconds, max_seconds), [counters] (name, value) and [gauges]
-    (name, value). *)
+(** An object with four arrays: [spans] (name, calls, total_ns, max_ns,
+    total_seconds, max_seconds), [counters] (name, value), [gauges]
+    (name, value) and [histograms] (name, count, sum, mean, buckets as
+    lo/count pairs). *)
 
 val render_json : snapshot -> string
 (** The snapshot under a single top-level [telemetry] key, plus a

@@ -1,3 +1,36 @@
+type stalls = {
+  ruu_full : int;
+  lsq_full : int;
+  fetch_redirect : int;
+  icache_miss : int;
+  squash_drain : int;
+  frontend_empty : int;
+}
+
+let no_stalls =
+  {
+    ruu_full = 0;
+    lsq_full = 0;
+    fetch_redirect = 0;
+    icache_miss = 0;
+    squash_drain = 0;
+    frontend_empty = 0;
+  }
+
+let stall_total s =
+  s.ruu_full + s.lsq_full + s.fetch_redirect + s.icache_miss + s.squash_drain
+  + s.frontend_empty
+
+let stall_causes s =
+  [
+    ("ruu_full", s.ruu_full);
+    ("lsq_full", s.lsq_full);
+    ("fetch_redirect", s.fetch_redirect);
+    ("icache_miss", s.icache_miss);
+    ("squash_drain", s.squash_drain);
+    ("frontend_empty", s.frontend_empty);
+  ]
+
 type t = {
   cycles : int;
   committed : int;
@@ -8,6 +41,8 @@ type t = {
   taken : int;
   loads : int;
   stores : int;
+  stalls : stalls;
+  dispatch_stall_cycles : int;
 }
 
 let ipc t =
@@ -24,19 +59,23 @@ let avg_ifq_occupancy t = Power.Activity.avg_ifq_occupancy t.activity
 (* Wire format for persistent artifact stores. All fields are integers,
    so a textual rendering round-trips exactly; derived floats (IPC, EPC,
    EDP) are recomputed from these counters and therefore also match the
-   uncached run bit for bit. *)
-let wire_version = 1
+   uncached run bit for bit. Version 2 appends the dispatch-stall
+   attribution (six causes plus the independently counted total). *)
+let wire_version = 2
 
 let encode (t : t) =
   let a = t.activity in
+  let s = t.stalls in
   Printf.sprintf
     "statsim-metrics %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d %d \
-     %d %d %d %d %d %d %d"
+     %d %d %d %d %d %d %d %d %d %d %d %d %d %d"
     wire_version t.cycles t.committed t.branches t.mispredicts t.redirects
     t.taken t.loads t.stores a.Power.Activity.cycles a.fetched a.bpred_lookups
     a.dispatched a.issued a.completed a.committed a.icache_accesses
     a.dcache_accesses a.l2_accesses a.int_alu_ops a.int_mult_ops a.fp_ops
     a.mem_ops a.ruu_occupancy_sum a.lsq_occupancy_sum a.ifq_occupancy_sum
+    s.ruu_full s.lsq_full s.fetch_redirect s.icache_miss s.squash_drain
+    s.frontend_empty t.dispatch_stall_cycles
 
 let decode s =
   let fail msg = failwith ("Metrics.decode: " ^ msg) in
@@ -80,6 +119,13 @@ let decode s =
      ruu_occupancy_sum;
      lsq_occupancy_sum;
      ifq_occupancy_sum;
+     ruu_full;
+     lsq_full;
+     fetch_redirect;
+     icache_miss;
+     squash_drain;
+     frontend_empty;
+     dispatch_stall_cycles;
     ] ->
       let activity = Power.Activity.create () in
       activity.cycles <- a_cycles;
@@ -109,6 +155,16 @@ let decode s =
         taken;
         loads;
         stores;
+        stalls =
+          {
+            ruu_full;
+            lsq_full;
+            fetch_redirect;
+            icache_miss;
+            squash_drain;
+            frontend_empty;
+          };
+        dispatch_stall_cycles;
       }
     | _ -> fail "wrong field count")
   | _ -> fail "missing statsim-metrics header"

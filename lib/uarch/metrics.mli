@@ -2,6 +2,33 @@
     statistics every experiment of Section 4 reads, plus the raw activity
     counters the power model consumes. *)
 
+(** Per-cause dispatch-stall cycle attribution. A dispatch-stall cycle
+    is a cycle in which the dispatch stage moved nothing from the IFQ
+    into the window; each such cycle is charged to exactly one cause,
+    so the six counters partition {!t.dispatch_stall_cycles}. This is
+    the accounting the fidelity observatory uses to see {e which}
+    pipeline resource absorbs a synthetic-vs-EDS IPC error (paper
+    Section 4's error discussion). *)
+type stalls = {
+  ruu_full : int;  (** window (RUU/ROB) at capacity *)
+  lsq_full : int;  (** head of the IFQ is a memory op and the LSQ is full *)
+  fetch_redirect : int;  (** front end draining a taken-branch redirect *)
+  icache_miss : int;  (** front end stalled on an I-cache / I-TLB miss *)
+  squash_drain : int;  (** restart penalty after a mispredict squash *)
+  frontend_empty : int;
+      (** IFQ empty for any other reason (fetch-width limits, stream
+          end) *)
+}
+
+val no_stalls : stalls
+
+val stall_total : stalls -> int
+(** Sum of the six causes; equals [dispatch_stall_cycles] for metrics
+    produced by the pipeline. *)
+
+val stall_causes : stalls -> (string * int) list
+(** The six (cause name, cycles) pairs in declaration order. *)
+
 type t = {
   cycles : int;
   committed : int;
@@ -12,6 +39,10 @@ type t = {
   taken : int;  (** committed taken branches *)
   loads : int;  (** committed loads *)
   stores : int;
+  stalls : stalls;
+  dispatch_stall_cycles : int;
+      (** cycles in which nothing was dispatched, counted independently
+          of the per-cause attribution *)
 }
 
 val ipc : t -> float

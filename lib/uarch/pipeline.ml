@@ -22,6 +22,20 @@ let pool_of (c : Isa.Iclass.t) =
 
 let watchdog_cycles = 200_000
 
+(* Why the front end last stopped fetching. Sticky: it is cleared only
+   when a fetch burst actually resumes, because the bubble a stalled
+   fetch engine creates reaches the dispatch stage one or more cycles
+   after the stall window itself has passed — attributing empty-IFQ
+   dispatch stalls by "is the stall window still open" would charge
+   the bubble to the wrong cause. *)
+type fetch_stall = Fs_none | Fs_redirect | Fs_icache | Fs_squash
+
+(* Per-cycle occupancy telemetry, shared by the EDS and synthetic
+   simulators (free when telemetry is disabled). *)
+let h_ruu_occ = Telemetry.histogram "uarch.occupancy.ruu"
+let h_lsq_occ = Telemetry.histogram "uarch.occupancy.lsq"
+let h_ifq_occ = Telemetry.histogram "uarch.occupancy.ifq"
+
 module Make (F : Feed.S) = struct
   type machine = {
     cfg : Config.Machine.t;
@@ -48,6 +62,17 @@ module Make (F : Feed.S) = struct
     mutable taken : int;
     mutable loads : int;
     mutable stores : int;
+    (* dispatch-stall attribution *)
+    mutable fetch_stall_reason : fetch_stall;
+    mutable disp_count : int;  (* instructions dispatched this cycle *)
+    mutable disp_lsq_blocked : bool;
+    mutable stall_ruu : int;
+    mutable stall_lsq : int;
+    mutable stall_redirect : int;
+    mutable stall_icache : int;
+    mutable stall_squash : int;
+    mutable stall_frontend : int;
+    mutable stall_cycles : int;
   }
 
   let create cfg feed =
@@ -82,6 +107,16 @@ module Make (F : Feed.S) = struct
       taken = 0;
       loads = 0;
       stores = 0;
+      fetch_stall_reason = Fs_none;
+      disp_count = 0;
+      disp_lsq_blocked = false;
+      stall_ruu = 0;
+      stall_lsq = 0;
+      stall_redirect = 0;
+      stall_icache = 0;
+      stall_squash = 0;
+      stall_frontend = 0;
+      stall_cycles = 0;
     }
 
   let nth m k = m.ruu.((m.head + k) mod Array.length m.ruu)
@@ -116,6 +151,7 @@ module Make (F : Feed.S) = struct
     m.stream_done <- false;
     m.fetch_stall_until <-
       max m.fetch_stall_until (m.cycle + m.cfg.mispredict_restart);
+    m.fetch_stall_reason <- Fs_squash;
     m.pending_mispredict <- -1
 
   let commit_stage m ~budget ~hook =
@@ -226,6 +262,7 @@ module Make (F : Feed.S) = struct
     let cap = Array.length m.ruu in
     let n = ref 0 in
     let blocked = ref false in
+    m.disp_lsq_blocked <- false;
     while
       (not !blocked)
       && !n < m.cfg.decode_width
@@ -234,7 +271,10 @@ module Make (F : Feed.S) = struct
     do
       let f, wrong = Queue.peek m.ifq in
       let is_mem = Isa.Iclass.is_mem f.Feed.klass in
-      if is_mem && m.lsq >= m.cfg.lsq_size then blocked := true
+      if is_mem && m.lsq >= m.cfg.lsq_size then begin
+        blocked := true;
+        m.disp_lsq_blocked <- true
+      end
       else begin
         ignore (Queue.pop m.ifq);
         let s =
@@ -270,10 +310,34 @@ module Make (F : Feed.S) = struct
         m.act.dispatched <- m.act.dispatched + 1;
         incr n
       end
-    done
+    done;
+    m.disp_count <- !n
+
+  (* Charge a zero-dispatch cycle to exactly one cause. Checked in
+     priority order: back-pressure from the window (RUU, then LSQ)
+     before front-end starvation, whose sub-cause is whatever last
+     stopped the fetch engine (end-of-stream drain is the catch-all).
+     The six counters therefore partition [stall_cycles]. *)
+  let account_dispatch_stall m =
+    if m.disp_count = 0 then begin
+      m.stall_cycles <- m.stall_cycles + 1;
+      if m.count >= Array.length m.ruu then m.stall_ruu <- m.stall_ruu + 1
+      else if m.disp_lsq_blocked then m.stall_lsq <- m.stall_lsq + 1
+      else if m.stream_done then m.stall_frontend <- m.stall_frontend + 1
+      else begin
+        match m.fetch_stall_reason with
+        | Fs_redirect -> m.stall_redirect <- m.stall_redirect + 1
+        | Fs_icache -> m.stall_icache <- m.stall_icache + 1
+        | Fs_squash -> m.stall_squash <- m.stall_squash + 1
+        | Fs_none -> m.stall_frontend <- m.stall_frontend + 1
+      end
+    end
 
   let fetch_stage m =
     if m.cycle >= m.fetch_stall_until && not m.stream_done then begin
+      (* the stall is over and fetch resumes; the loop below re-sets the
+         reason if this very burst runs into a new redirect or miss *)
+      m.fetch_stall_reason <- Fs_none;
       let budget = ref (m.cfg.decode_width * m.cfg.fetch_speed) in
       let taken_budget = ref m.cfg.fetch_speed in
       let stop = ref false in
@@ -305,6 +369,7 @@ module Make (F : Feed.S) = struct
               | Branch.Predictor.Mispredict -> m.pending_mispredict <- f.seq
               | Branch.Predictor.Fetch_redirect ->
                 m.fetch_stall_until <- m.cycle + m.cfg.fetch_redirect_penalty;
+                m.fetch_stall_reason <- Fs_redirect;
                 stop := true
               | Branch.Predictor.Correct -> ()
             end;
@@ -316,6 +381,7 @@ module Make (F : Feed.S) = struct
             (* I-cache (or I-TLB) miss: the fetch engine stops fetching
                for the duration of the miss (Section 2.3) *)
             m.fetch_stall_until <- m.cycle + lat;
+            m.fetch_stall_reason <- Fs_icache;
             stop := true
           end
       done
@@ -332,6 +398,16 @@ module Make (F : Feed.S) = struct
       taken = m.taken;
       loads = m.loads;
       stores = m.stores;
+      stalls =
+        {
+          Metrics.ruu_full = m.stall_ruu;
+          lsq_full = m.stall_lsq;
+          fetch_redirect = m.stall_redirect;
+          icache_miss = m.stall_icache;
+          squash_drain = m.stall_squash;
+          frontend_empty = m.stall_frontend;
+        };
+      dispatch_stall_cycles = m.stall_cycles;
     }
 
   let run ?(max_instructions = max_int) ?commit_hook cfg feed =
@@ -346,11 +422,15 @@ module Make (F : Feed.S) = struct
       writeback_stage m;
       issue_stage m;
       dispatch_stage m;
+      account_dispatch_stall m;
       fetch_stage m;
       m.act.cycles <- m.act.cycles + 1;
       m.act.ruu_occupancy_sum <- m.act.ruu_occupancy_sum + m.count;
       m.act.lsq_occupancy_sum <- m.act.lsq_occupancy_sum + m.lsq;
       m.act.ifq_occupancy_sum <- m.act.ifq_occupancy_sum + Queue.length m.ifq;
+      Telemetry.observe h_ruu_occ m.count;
+      Telemetry.observe h_lsq_occ m.lsq;
+      Telemetry.observe h_ifq_occ (Queue.length m.ifq);
       m.cycle <- m.cycle + 1;
       if m.cycle - m.last_commit_cycle > watchdog_cycles then
         failwith

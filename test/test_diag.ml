@@ -1,0 +1,146 @@
+(* Fidelity observatory: the divergence statistics themselves, the JSON
+   render, and the end-to-end property that a trace generated from a
+   profile at R=1 diverges from it by (almost) nothing. *)
+
+let check = Alcotest.(check bool)
+
+let test_kl_self_zero () =
+  (* identical count lists: every statistic is exactly zero *)
+  let counts = [ ("a", 10.0); ("b", 30.0); ("c", 60.0) ] in
+  let ft = Diag.feature_of_counts ~name:"self" ~expected:counts ~observed:counts in
+  Alcotest.(check (float 0.0)) "KL(d||d) = 0" 0.0 ft.Diag.kl;
+  Alcotest.(check (float 0.0)) "chi-square = 0" 0.0 ft.Diag.chi_square;
+  Alcotest.(check (float 0.0)) "max delta = 0" 0.0 ft.Diag.max_delta;
+  Alcotest.(check int) "support" 3 ft.Diag.support
+
+let test_scale_invariance () =
+  (* the statistics compare shapes: doubling one side's mass changes
+     nothing except chi-square's sample size *)
+  let e = [ ("a", 10.0); ("b", 90.0) ] in
+  let o = [ ("a", 20.0); ("b", 180.0) ] in
+  let ft = Diag.feature_of_counts ~name:"scaled" ~expected:e ~observed:o in
+  (* not exactly 0: the smoothing mass is fixed while the totals differ *)
+  check "KL ~ 0" true (ft.Diag.kl < 1e-3);
+  Alcotest.(check (float 1e-9)) "max delta 0" 0.0 ft.Diag.max_delta
+
+let test_divergent_feature () =
+  let ft =
+    Diag.feature_of_counts ~name:"flip"
+      ~expected:[ ("a", 90.0); ("b", 10.0) ]
+      ~observed:[ ("a", 10.0); ("b", 90.0) ]
+  in
+  check "KL > 0" true (ft.Diag.kl > 0.5);
+  check "chi-square large" true (ft.Diag.chi_square > 50.0);
+  Alcotest.(check (float 1e-9)) "max delta 0.8" 0.8 ft.Diag.max_delta
+
+let test_one_sided_keys_finite () =
+  (* a key present on only one side must smooth, not blow up *)
+  let ft =
+    Diag.feature_of_counts ~name:"onesided"
+      ~expected:[ ("a", 50.0); ("gone", 50.0) ]
+      ~observed:[ ("a", 50.0); ("new", 50.0) ]
+  in
+  check "KL finite" true (Float.is_finite ft.Diag.kl);
+  check "chi-square finite" true (Float.is_finite ft.Diag.chi_square);
+  Alcotest.(check (float 1e-9)) "max delta 0.5" 0.5 ft.Diag.max_delta
+
+let test_empty_side_is_zero () =
+  let ft =
+    Diag.feature_of_counts ~name:"empty" ~expected:[ ("a", 1.0) ] ~observed:[]
+  in
+  Alcotest.(check (float 0.0)) "kl" 0.0 ft.Diag.kl;
+  Alcotest.(check (float 0.0)) "max delta" 0.0 ft.Diag.max_delta
+
+let test_golden_json () =
+  let counts = [ ("a", 1.0); ("b", 1.0) ] in
+  let report =
+    {
+      Diag.label = "golden";
+      instructions_expected = 100;
+      instructions_observed = 50;
+      features =
+        [ Diag.feature_of_counts ~name:"f" ~expected:counts ~observed:counts ];
+    }
+  in
+  Alcotest.(check string)
+    "exact diag document"
+    "{\"diag\":{\"label\":\"golden\",\"instructions_expected\":100,\
+     \"instructions_observed\":50,\"features\":[{\"name\":\"f\",\
+     \"support\":2,\"expected_total\":2,\"observed_total\":2,\"kl\":0,\
+     \"chi_square\":0,\"max_delta\":0}]}}"
+    (Telemetry.Json.to_string (Diag.to_json report))
+
+let profile_of bench length =
+  Statsim.profile Config.Machine.baseline
+    (Workload.Suite.stream (Workload.Suite.find bench) ~length)
+
+let test_self_comparison_near_zero () =
+  (* R=1 replays the whole profile: every feature must sit within
+     sampling noise of it *)
+  let p = profile_of "gcc" 40_000 in
+  let tr = Synth.Generate.generate ~reduction:1 p ~seed:5 in
+  let d = Diag.compare ~label:"gcc" p tr in
+  check "all 13 features compared" true (List.length d.Diag.features = 13);
+  (match Diag.worst d with
+  | None -> Alcotest.fail "no features"
+  | Some w ->
+    check
+      (Printf.sprintf "worst feature %s max|dP| %.4f < 0.05" w.Diag.f_name
+         w.Diag.max_delta)
+      true
+      (w.Diag.max_delta < 0.05));
+  (* exact-count features are exact at R=1: the generator emits every
+     node exactly occurrences/R times *)
+  let by_name n = List.find (fun f -> f.Diag.f_name = n) d.Diag.features in
+  check "mix near-exact" true ((by_name "mix").Diag.max_delta < 0.005);
+  check "operands near-exact" true ((by_name "operands").Diag.max_delta < 0.005)
+
+let test_compare_metrics_self () =
+  let p = profile_of "twolf" 20_000 in
+  let tr = Synth.Generate.generate ~target_length:8_000 p ~seed:3 in
+  let m = Synth.Run.run Config.Machine.baseline tr in
+  let ds = Diag.compare_metrics ~eds:m ~synthetic:m in
+  check "has ipc row" true
+    (List.exists (fun d -> d.Diag.m_name = "ipc") ds);
+  check "has per-cause stall rows" true
+    (List.exists (fun d -> d.Diag.m_name = "stall.ruu_full") ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check (float 1e-12)) (d.Diag.m_name ^ " self delta") 0.0
+        d.Diag.m_delta)
+    ds
+
+let contains s needle =
+  let n = String.length needle and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_render_text_mentions_features () =
+  let p = profile_of "twolf" 20_000 in
+  let tr = Synth.Generate.generate ~target_length:5_000 p ~seed:9 in
+  let d = Diag.compare ~label:"twolf" p tr in
+  let txt = Diag.render_text d in
+  List.iter
+    (fun needle -> check (needle ^ " mentioned") true (contains txt needle))
+    [ "mix"; "dep_distance"; "sfg_edges"; "mispredict"; "worst:" ]
+
+let suite =
+  [
+    Alcotest.test_case "KL of identical distributions is 0" `Quick
+      test_kl_self_zero;
+    Alcotest.test_case "statistics are scale-invariant" `Quick
+      test_scale_invariance;
+    Alcotest.test_case "divergent distributions flagged" `Quick
+      test_divergent_feature;
+    Alcotest.test_case "one-sided keys stay finite" `Quick
+      test_one_sided_keys_finite;
+    Alcotest.test_case "empty side compares as zero" `Quick
+      test_empty_side_is_zero;
+    Alcotest.test_case "diag JSON golden render" `Quick test_golden_json;
+    Alcotest.test_case "R=1 self-comparison is near zero" `Quick
+      test_self_comparison_near_zero;
+    Alcotest.test_case "compare_metrics self is zero" `Quick
+      test_compare_metrics_self;
+    Alcotest.test_case "text render lists the features" `Quick
+      test_render_text_mentions_features;
+  ]

@@ -24,6 +24,7 @@ let () =
       ("inorder", Test_inorder.suite);
       ("experiments", Test_experiments.suite);
       ("runner", Test_runner.suite);
+      ("diag", Test_diag.suite);
       ("store", Test_store.suite);
       ("telemetry", Test_telemetry.suite);
       ("misc", Test_misc.suite);

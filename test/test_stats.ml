@@ -130,6 +130,33 @@ let test_relative_error () =
 let test_geomean () =
   Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.Summary.geomean [ 2.0; 8.0 ])
 
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add_many h 1 2;
+  Stats.Histogram.add_many h 5 3;
+  Stats.Histogram.add_many h 9 5;
+  (* nearest rank over cumulative counts 2 / 5 / 10 *)
+  Alcotest.(check int) "p0 is the minimum" 1 (Stats.Histogram.percentile h 0.0);
+  Alcotest.(check int) "p20 -> rank 2" 1 (Stats.Histogram.percentile h 0.2);
+  Alcotest.(check int) "p50 -> rank 5" 5 (Stats.Histogram.percentile h 0.5);
+  Alcotest.(check int) "p51 -> rank 6" 9 (Stats.Histogram.percentile h 0.51);
+  Alcotest.(check int) "p100 is the maximum" 9 (Stats.Histogram.percentile h 1.0);
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Histogram.percentile: empty") (fun () ->
+      ignore (Stats.Histogram.percentile (Stats.Histogram.create ()) 0.5));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Histogram.percentile: p out of [0, 1]") (fun () ->
+      ignore (Stats.Histogram.percentile h 1.5))
+
+let test_histogram_percentile_merge () =
+  (* percentile over a merge equals percentile over pooled observations *)
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.add_many a 2 10;
+  Stats.Histogram.add_many b 7 10;
+  Stats.Histogram.merge a b;
+  Alcotest.(check int) "p50 of pooled" 2 (Stats.Histogram.percentile a 0.5);
+  Alcotest.(check int) "p90 of pooled" 7 (Stats.Histogram.percentile a 0.9)
+
 let suite =
   [
     Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
@@ -148,4 +175,7 @@ let suite =
     Alcotest.test_case "absolute error" `Quick test_absolute_error;
     Alcotest.test_case "relative error" `Quick test_relative_error;
     Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram percentile after merge" `Quick
+      test_histogram_percentile_merge;
   ]

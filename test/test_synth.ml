@@ -198,6 +198,8 @@ let test_mean_ipc_weighting () =
       taken = 0;
       loads = 0;
       stores = 0;
+      stalls = Uarch.Metrics.no_stalls;
+      dispatch_stall_cycles = 0;
     }
   in
   (* 100 insts in 100 cycles + 300 insts in 100 cycles = 400/200 *)

@@ -122,6 +122,89 @@ let prop_counter_domains =
           Array.iter Domain.join domains;
           Telemetry.counter_value c - before = 4 * n))
 
+(* same property for the histogram instrument: bucket increments from
+   parallel domains are exact *)
+let prop_histogram_domains =
+  QCheck.Test.make ~count:10 ~name:"histogram exact under 4 domains"
+    QCheck.(int_range 1 2_000)
+    (fun n ->
+      with_enabled true (fun () ->
+          let h = Telemetry.histogram "test.domains.hist" in
+          let before = Telemetry.histogram_count h in
+          let domains =
+            Array.init 4 (fun d ->
+                Domain.spawn (fun () ->
+                    for i = 1 to n do
+                      Telemetry.observe h ((d * 37) + i)
+                    done))
+          in
+          Array.iter Domain.join domains;
+          Telemetry.histogram_count h - before = 4 * n))
+
+let test_histogram_buckets () =
+  with_enabled true (fun () ->
+      let h = Telemetry.histogram "test.buckets.hist" in
+      let stat0 =
+        List.find_opt
+          (fun (s : Telemetry.histogram_stat) -> s.hist_name = "test.buckets.hist")
+          (Telemetry.snapshot ()).Telemetry.histograms
+      in
+      let count0 = match stat0 with Some s -> s.count | None -> 0 in
+      List.iter (Telemetry.observe h) [ 0; 1; 2; 3; 4; 8; -5; max_int ];
+      let stat =
+        List.find
+          (fun (s : Telemetry.histogram_stat) -> s.hist_name = "test.buckets.hist")
+          (Telemetry.snapshot ()).Telemetry.histograms
+      in
+      Alcotest.(check int) "count" (count0 + 8) stat.Telemetry.count;
+      Alcotest.(check int)
+        "count = bucket sum" stat.Telemetry.count
+        (List.fold_left (fun a (_, c) -> a + c) 0 stat.Telemetry.buckets);
+      let lo_of v =
+        (* bucket bounds the observation fell into *)
+        List.filter (fun (lo, _) -> lo <= v) stat.Telemetry.buckets
+        |> List.fold_left (fun _ (lo, _) -> lo) 0
+      in
+      Alcotest.(check int) "0 in bucket 0" 0 (lo_of 0);
+      Alcotest.(check int) "3 in [2,3]" 2 (lo_of 3);
+      Alcotest.(check int) "8 in [8,15]" 8 (lo_of 8))
+
+let test_event_capture_chrome () =
+  with_enabled true (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Telemetry.set_capture false)
+        (fun () ->
+          Telemetry.set_capture true;
+          Alcotest.(check bool) "capturing" true (Telemetry.capturing ());
+          Alcotest.(check int)
+            "result passes through" 9
+            (Telemetry.with_event "test.ev.dynamic" (fun () ->
+                 busy ();
+                 9));
+          let s = Telemetry.span "test.ev.span" in
+          Telemetry.time s busy;
+          let evs = Telemetry.events () in
+          let names = List.map (fun (e : Telemetry.event) -> e.ev_name) evs in
+          Alcotest.(check bool)
+            "dynamic event captured" true
+            (List.mem "test.ev.dynamic" names);
+          Alcotest.(check bool)
+            "span section captured" true
+            (List.mem "test.ev.span" names);
+          List.iter
+            (fun (e : Telemetry.event) ->
+              Alcotest.(check bool) "duration >= 0" true (e.ev_dur_ns >= 0))
+            evs;
+          match Telemetry.chrome_trace () with
+          | Telemetry.Json.Obj fields ->
+            (match List.assoc_opt "traceEvents" fields with
+            | Some (Telemetry.Json.Arr items) ->
+              Alcotest.(check bool)
+                "trace has metadata + events" true
+                (List.length items >= List.length evs)
+            | _ -> Alcotest.fail "traceEvents missing")
+          | _ -> Alcotest.fail "chrome_trace is not an object"))
+
 let test_memo_telemetry_counters () =
   with_enabled true (fun () ->
       let snap0 = Telemetry.snapshot () in
@@ -175,6 +258,7 @@ let golden_snapshot : Telemetry.snapshot =
       ];
     counters = [ ("cache.profile.hits", 3) ];
     gauges = [ ("runner.domains", 2.0) ];
+    histograms = [];
   }
 
 let test_render_json_golden () =
@@ -183,7 +267,8 @@ let test_render_json_golden () =
     ("{\"telemetry\":{\"spans\":[{\"name\":\"profile.collect\",\"calls\":2,\
       \"total_ns\":1500000000,\"max_ns\":1000000000,\"total_seconds\":1.5,\
       \"max_seconds\":1}],\"counters\":[{\"name\":\"cache.profile.hits\",\
-      \"value\":3}],\"gauges\":[{\"name\":\"runner.domains\",\"value\":2}]}}"
+      \"value\":3}],\"gauges\":[{\"name\":\"runner.domains\",\"value\":2}],\
+      \"histograms\":[]}}"
     ^ "\n")
     (Telemetry.render_json golden_snapshot)
 
@@ -249,6 +334,11 @@ let suite =
       test_span_records_on_exception;
     Alcotest.test_case "creation interns by name" `Quick test_interning;
     QCheck_alcotest.to_alcotest prop_counter_domains;
+    QCheck_alcotest.to_alcotest prop_histogram_domains;
+    Alcotest.test_case "histogram bucket placement" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "event capture and Chrome trace" `Quick
+      test_event_capture_chrome;
     Alcotest.test_case "memo hit/miss folded into registry" `Quick
       test_memo_telemetry_counters;
     Alcotest.test_case "full pipeline fires stage spans" `Quick

@@ -158,6 +158,113 @@ let test_feed_ring_memoizes () =
   Alcotest.(check int) "produced once" 10 !calls;
   check "end of stream" true (Uarch.Feed.Ring.get ring 99 = None)
 
+(* the dispatch-stall attribution invariant: every zero-dispatch cycle
+   is charged to exactly one cause, so the six counters always sum to
+   the independently counted dispatch_stall_cycles *)
+let stall_scenarios () =
+  [
+    ("plain", Array.init 800 (fun _ -> inst ()));
+    ("serial chain", Array.init 800 (fun i -> inst ~deps:(if i = 0 then [||] else [| 1 |]) ()));
+    ( "missing loads",
+      Array.init 800 (fun _ -> inst ~klass:Load ~deps:[| 1 |] ~l1d:true ~l2d:true ()) );
+    ( "mispredicts",
+      Array.concat
+        (List.init 100 (fun _ ->
+             Array.append
+               (Array.init 7 (fun _ -> inst ()))
+               [| branch ~taken:true ~mispredict:true () |])) );
+    ( "redirects",
+      Array.concat
+        (List.init 100 (fun _ ->
+             Array.append
+               (Array.init 7 (fun _ -> inst ()))
+               [| branch ~taken:true ~redirect:true () |])) );
+    ("cold icache", Array.init 800 (fun i -> inst ~l1i:(i mod 8 = 0) ()));
+    ( "alu chain behind missing load",
+      Array.init 800 (fun i ->
+          if i mod 100 = 0 then inst ~klass:Load ~l1d:true ~l2d:true ()
+          else inst ~deps:[| 1 |] ()) );
+  ]
+
+let test_stall_partition () =
+  List.iter
+    (fun (name, insts) ->
+      let m = run insts in
+      Alcotest.(check int)
+        (name ^ ": causes partition the stall cycles")
+        m.Uarch.Metrics.dispatch_stall_cycles
+        (Uarch.Metrics.stall_total m.Uarch.Metrics.stalls);
+      check
+        (name ^ ": stalls bounded by cycles") true
+        (m.Uarch.Metrics.dispatch_stall_cycles <= m.Uarch.Metrics.cycles))
+    (stall_scenarios ())
+
+let test_stall_causes_attributed () =
+  (* each targeted scenario surfaces its own dominant cause *)
+  let stalls insts = (run insts).Uarch.Metrics.stalls in
+  let window =
+    (* a dependence chain stuck behind an L2-missing load: commit stops
+       while dispatch keeps filling the window with ALU ops *)
+    stalls
+      (Array.init 800 (fun i ->
+           if i mod 100 = 0 then inst ~klass:Load ~l1d:true ~l2d:true ()
+           else inst ~deps:[| 1 |] ()))
+  in
+  check "blocked chain fills the window" true (window.Uarch.Metrics.ruu_full > 0);
+  let blocked_loads =
+    stalls
+      (Array.init 800 (fun _ -> inst ~klass:Load ~deps:[| 1 |] ~l1d:true ~l2d:true ()))
+  in
+  check "missing loads block on the LSQ" true
+    (blocked_loads.Uarch.Metrics.lsq_full > 0);
+  let redirects =
+    stalls
+      (Array.concat
+         (List.init 100 (fun _ ->
+              Array.append
+                (Array.init 7 (fun _ -> inst ()))
+                [| branch ~taken:true ~redirect:true () |])))
+  in
+  check "redirects bubble the front end" true
+    (redirects.Uarch.Metrics.fetch_redirect > 0);
+  let squash =
+    stalls
+      (Array.concat
+         (List.init 100 (fun _ ->
+              Array.append
+                (Array.init 7 (fun _ -> inst ()))
+                [| branch ~taken:true ~mispredict:true () |])))
+  in
+  check "mispredicts drain as squashes" true
+    (squash.Uarch.Metrics.squash_drain > 0);
+  let icache = stalls (Array.init 800 (fun i -> inst ~l1i:(i mod 4 = 0) ())) in
+  check "I-cache misses stall the front end" true
+    (icache.Uarch.Metrics.icache_miss > 0)
+
+let test_stalls_wire_roundtrip () =
+  (* the stall attribution survives the versioned integer codec *)
+  let m =
+    run
+      (Array.concat
+         (List.init 100 (fun _ ->
+              Array.append
+                (Array.init 7 (fun i -> inst ~deps:(if i = 0 then [||] else [| 1 |]) ()))
+                [| branch ~taken:true ~mispredict:true () |])))
+  in
+  let m' = Uarch.Metrics.decode (Uarch.Metrics.encode m) in
+  check "nonzero attribution exercised" true
+    (Uarch.Metrics.stall_total m.Uarch.Metrics.stalls > 0);
+  Alcotest.(check (list (pair string int)))
+    "stall causes identical"
+    (Uarch.Metrics.stall_causes m.Uarch.Metrics.stalls)
+    (Uarch.Metrics.stall_causes m'.Uarch.Metrics.stalls);
+  Alcotest.(check int)
+    "dispatch stall cycles identical" m.Uarch.Metrics.dispatch_stall_cycles
+    m'.Uarch.Metrics.dispatch_stall_cycles;
+  Alcotest.(check string)
+    "re-encode is bit-identical" (Uarch.Metrics.encode m)
+    (Uarch.Metrics.encode m')
+
 let test_eds_end_to_end_sane () =
   let cfg = Config.Machine.baseline in
   let spec = Workload.Suite.find "gzip" in
@@ -198,6 +305,12 @@ let suite =
     Alcotest.test_case "window sensitivity" `Quick test_window_sensitivity;
     Alcotest.test_case "far deps ready" `Quick test_deps_beyond_window_ready;
     Alcotest.test_case "feed ring memoizes" `Quick test_feed_ring_memoizes;
+    Alcotest.test_case "stall causes partition stall cycles" `Quick
+      test_stall_partition;
+    Alcotest.test_case "stall causes attributed" `Quick
+      test_stall_causes_attributed;
+    Alcotest.test_case "stall attribution wire roundtrip" `Quick
+      test_stalls_wire_roundtrip;
     Alcotest.test_case "EDS end-to-end" `Quick test_eds_end_to_end_sane;
     Alcotest.test_case "EDS perfect modes" `Quick test_eds_perfect_modes_faster;
   ]
