@@ -89,6 +89,17 @@ let checks =
           abs_slack = 0.5;
         })
       [ "hits"; "misses"; "bytes_written"; "quarantined" ]
+  (* streamed-vs-materialized bench: gate the timings like any stage
+     (informational until the baseline is regenerated with them) *)
+  @ List.map
+      (fun path_kind ->
+        {
+          label = "streaming." ^ path_kind ^ ".seconds";
+          path = [ "streaming"; path_kind; "seconds" ];
+          both_directions = false;
+          abs_slack = 0.05;
+        })
+      [ "streamed"; "materialized" ]
 
 type verdict = Ok_ | Regressed | Missing | New
 

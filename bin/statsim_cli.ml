@@ -49,48 +49,112 @@ let load_arg =
   let doc = "Reuse a saved profile instead of re-profiling." in
   Arg.(value & opt (some string) None & info [ "p"; "profile" ] ~docv:"FILE" ~doc)
 
+let stream_arg =
+  let doc =
+    "Stream the SFG walk straight into the pipeline in constant memory \
+     instead of materializing the synthetic trace first. Bit-identical \
+     metrics for the same seed."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let replicas_arg =
+  let doc =
+    "Run $(docv) independent replicas (seeds split deterministically from \
+     $(b,--seed)) and report mean, stddev and the 95% confidence interval \
+     for IPC and the stall-cause fractions instead of a single run."
+  in
+  Arg.(value & opt (some int) None & info [ "replicas" ] ~docv:"N" ~doc)
+
+let ci_target_arg =
+  let doc =
+    "Adaptive replication: grow the replica count (doubling from \
+     $(b,--replicas), default 4) until the IPC confidence half-width is at \
+     most $(docv) percent of the mean."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "ci-target" ] ~docv:"PCT" ~doc)
+
 let simulate_cmd =
-  let run bench length syn seed k profile_file =
+  let run bench length syn seed k profile_file stream replicas ci_target jobs
+      json =
     let cfg = Config.Machine.baseline in
     let spec = spec_of_name bench in
-    let stream () = Workload.Suite.stream spec ~length in
-    let eds = Statsim.reference cfg (stream ()) in
-    let ss =
+    let load_profile path =
+      let p = Profile.Serialize.load_file path in
+      (* the SFG order is baked into a saved profile at collection
+         time; silently honouring a different -k would mislead *)
+      (match k with
+      | Some k when k <> p.Profile.Stat_profile.k ->
+        Printf.eprintf
+          "warning: -k %d ignored: profile %s was collected with k=%d\n" k
+          path p.Profile.Stat_profile.k
+      | Some _ | None -> ());
+      p
+    in
+    let collect_profile () =
       match profile_file with
-      | Some path ->
-        let p = Profile.Serialize.load_file path in
-        (* the SFG order is baked into a saved profile at collection
-           time; silently honouring a different -k would mislead *)
-        (match k with
-        | Some k when k <> p.Profile.Stat_profile.k ->
-          Printf.eprintf
-            "warning: -k %d ignored: profile %s was collected with k=%d\n" k
-            path p.Profile.Stat_profile.k
-        | Some _ | None -> ());
-        Statsim.run_profile ~target_length:syn cfg p ~seed
+      | Some path -> load_profile path
       | None ->
-        Statsim.run
+        Statsim.profile
           ~k:(Option.value k ~default:1)
-          cfg (stream ()) ~target_length:syn ~seed
+          cfg
+          (Workload.Suite.stream spec ~length)
     in
-    Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
-    let line name get =
-      Printf.printf "%-22s %10.3f %10.3f %7.1f%%\n" name (get eds) (get ss)
-        (100.0
-        *. Stats.Summary.absolute_error ~reference:(get eds) ~predicted:(get ss))
-    in
-    line "IPC" (fun r -> r.Statsim.ipc);
-    line "EPC" (fun r -> r.Statsim.epc);
-    line "EDP" (fun r -> r.Statsim.edp);
-    Printf.printf "%-22s %10.2f %10.2f\n" "MPKI"
-      (Uarch.Metrics.mpki eds.metrics)
-      (Uarch.Metrics.mpki ss.metrics)
+    match (replicas, ci_target) with
+    | None, None ->
+      let stream_src () = Workload.Suite.stream spec ~length in
+      let eds = Statsim.reference cfg (stream_src ()) in
+      let ss =
+        let p = collect_profile () in
+        if stream then Statsim.simulate_stream ~target_length:syn cfg p ~seed
+        else Statsim.run_profile ~target_length:syn cfg p ~seed
+      in
+      Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
+      let line name get =
+        Printf.printf "%-22s %10.3f %10.3f %7.1f%%\n" name (get eds) (get ss)
+          (100.0
+          *. Stats.Summary.absolute_error ~reference:(get eds)
+               ~predicted:(get ss))
+      in
+      line "IPC" (fun r -> r.Statsim.ipc);
+      line "EPC" (fun r -> r.Statsim.epc);
+      line "EDP" (fun r -> r.Statsim.edp);
+      Printf.printf "%-22s %10.2f %10.2f\n" "MPKI"
+        (Uarch.Metrics.mpki eds.metrics)
+        (Uarch.Metrics.mpki ss.metrics)
+    | _ ->
+      (* replication mode: dispersion across seeds, no EDS reference *)
+      let p = collect_profile () in
+      let jobs = Option.value jobs ~default:1 in
+      let r =
+        match ci_target with
+        | Some ci_target ->
+          Statsim.replicate_ci ~jobs ~stream ~target_length:syn
+            ?min_replicas:replicas cfg p ~master_seed:seed ~ci_target
+        | None ->
+          Statsim.replicate ~jobs ~stream ~target_length:syn cfg p
+            ~master_seed:seed
+            ~replicas:(Option.value replicas ~default:4)
+      in
+      if json then
+        print_string
+          (Telemetry.Json.to_string (Synth.Replicate.to_json r) ^ "\n")
+      else Synth.Replicate.render_text Format.std_formatter r
+  in
+  let jobs_arg =
+    let doc = "Worker domains for replicas (never changes the result)." in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the replication report as a JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let doc = "compare statistical simulation against the execution-driven reference" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
-      $ load_arg)
+      $ load_arg $ stream_arg $ replicas_arg $ ci_target_arg $ jobs_arg
+      $ json_arg)
 
 let force_arg =
   let doc = "Overwrite an existing output file." in
@@ -273,7 +337,7 @@ let cache_dir_arg =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let experiment_cmd =
-  let run ids format jobs telemetry cache_dir trace_out diag =
+  let run ids format jobs telemetry cache_dir trace_out diag replicas =
     let ppf = Format.std_formatter in
     if telemetry then Telemetry.set_enabled true;
     if trace_out <> None then Telemetry.set_capture true;
@@ -319,6 +383,38 @@ let experiment_cmd =
             print_string (Diag.render_text d))
         Experiments.Exp_common.benches
     end;
+    (match replicas with
+    | None -> ()
+    | Some n ->
+      (* dispersion context for the tables above: how much of each
+         number is seed noise *)
+      let cfg = Config.Machine.baseline in
+      List.iter
+        (fun (spec : Workload.Spec.t) ->
+          let p =
+            Experiments.Exp_common.profile ctx.Runner.Exec.cache cfg
+              (Experiments.Exp_common.src spec)
+          in
+          let r =
+            Statsim.replicate ~jobs:ctx.Runner.Exec.jobs ~stream:true
+              ~target_length:Experiments.Exp_common.syn_length cfg p
+              ~master_seed:Experiments.Exp_common.seed ~replicas:n
+          in
+          match format with
+          | Runner.Report.Json ->
+            print_string
+              (Telemetry.Json.to_string
+                 (Telemetry.Json.Obj
+                    [
+                      ("bench", Telemetry.Json.Str spec.Workload.Spec.name);
+                      ("replication", Synth.Replicate.to_json r);
+                    ])
+              ^ "\n")
+          | Runner.Report.Text | Runner.Report.Csv ->
+            Format.printf "%s %a" spec.Workload.Spec.name
+              (fun ppf -> Synth.Replicate.render_text ppf)
+              r)
+        Experiments.Exp_common.benches);
     if Telemetry.enabled () then begin
       let snap = Telemetry.snapshot () in
       (match format with
@@ -354,11 +450,20 @@ let experiment_cmd =
     in
     Arg.(value & flag & info [ "diag" ] ~doc)
   in
+  let exp_replicas_arg =
+    let doc =
+      "After the reports, run $(docv) streamed replicas per workload (seeds \
+       split from the experiments' fixed master seed) and print the IPC and \
+       stall-fraction dispersion — how much of each table entry is seed \
+       noise."
+    in
+    Arg.(value & opt (some int) None & info [ "replicas" ] ~docv:"N" ~doc)
+  in
   let doc = "regenerate one of the paper's tables or figures" in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(
       const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg
-      $ cache_dir_arg $ trace_out_arg $ diag_arg)
+      $ cache_dir_arg $ trace_out_arg $ diag_arg $ exp_replicas_arg)
 
 let dot_cmd =
   let run bench length k cfg_out sfg_out =

@@ -21,8 +21,22 @@ let synthesize ?reduction ?target_length p ~seed =
 
 let simulate cfg trace = result_of_metrics cfg (Synth.Run.run cfg trace)
 
+let simulate_stream ?reduction ?target_length cfg p ~seed =
+  result_of_metrics cfg
+    (Synth.Run.run_stream ?reduction ?target_length cfg p ~seed)
+
 let run_profile ?reduction ?target_length cfg p ~seed =
   simulate cfg (synthesize ?reduction ?target_length p ~seed)
+
+let replicate ?jobs ?stream ?reduction ?target_length cfg p ~master_seed
+    ~replicas =
+  Synth.Replicate.run ?jobs ?stream ?reduction ?target_length cfg p
+    ~master_seed ~replicas
+
+let replicate_ci ?jobs ?stream ?reduction ?target_length ?min_replicas
+    ?max_replicas cfg p ~master_seed ~ci_target =
+  Synth.Replicate.run_ci ?jobs ?stream ?reduction ?target_length ?min_replicas
+    ?max_replicas cfg p ~master_seed ~ci_target
 
 let run ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred ?reduction
     ?target_length cfg gen ~seed =

@@ -63,6 +63,17 @@ val synthesize :
 val simulate : Config.Machine.t -> Synth.Trace.t -> result
 (** Step 3. *)
 
+val simulate_stream :
+  ?reduction:int ->
+  ?target_length:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  seed:int ->
+  result
+(** Steps 2+3 fused: stream the SFG walk straight into the pipeline in
+    constant memory, never materializing the trace. Bit-identical to
+    {!run_profile} for equal arguments (see {!Synth.Run.run_stream}). *)
+
 val run :
   ?k:int ->
   ?dep_cap:int ->
@@ -89,6 +100,38 @@ val run_profile :
     carries the branch/cache characteristics of the configuration it was
     collected with; re-profile when the predictor or the caches change
     (the paper makes the same caveat in Section 4.4). *)
+
+val replicate :
+  ?jobs:int ->
+  ?stream:bool ->
+  ?reduction:int ->
+  ?target_length:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  master_seed:int ->
+  replicas:int ->
+  Synth.Replicate.t
+(** Steps 2+3 over [replicas] independent seeds split from
+    [master_seed], reporting mean/stddev/95% CI for IPC and the
+    stall-cause fractions (see {!Synth.Replicate.run}). [jobs]
+    distributes replicas over the Domain pool without changing the
+    result. *)
+
+val replicate_ci :
+  ?jobs:int ->
+  ?stream:bool ->
+  ?reduction:int ->
+  ?target_length:int ->
+  ?min_replicas:int ->
+  ?max_replicas:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  master_seed:int ->
+  ci_target:float ->
+  Synth.Replicate.t
+(** Adaptive variant: grow the replica count until the IPC confidence
+    half-width is within [ci_target] percent of the mean (see
+    {!Synth.Replicate.run_ci}). *)
 
 val reference :
   ?max_instructions:int ->

@@ -1,0 +1,22 @@
+(** A Domain-based worker pool with deterministic result placement.
+    Re-exported as [Runner.Pool]; it lives in its own library so that
+    layers below the runner (the synthetic-trace replication engine)
+    can use the same pool without a dependency cycle.
+
+    [map ~jobs f a] applies [f] to every element of [a] and returns the
+    results in index order, whatever the execution interleaving. With
+    [jobs <= 1] (or fewer than two elements) it degenerates to a plain
+    sequential left-to-right map — the serial fallback. With [jobs > 1]
+    it spawns [min jobs (Array.length a) - 1] additional domains that
+    pull indices from a shared atomic counter (work stealing by
+    chunkless self-scheduling).
+
+    If any application raises, the exception of the lowest-indexed
+    failing element is re-raised (with its backtrace) after all domains
+    have joined. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val default_jobs : unit -> int
+(** The worker count requested via the [REPRO_JOBS] environment
+    variable; 1 (serial) when unset or invalid. *)

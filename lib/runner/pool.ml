@@ -1,52 +1,4 @@
-let map_serial f a =
-  let n = Array.length a in
-  if n = 0 then [||]
-  else begin
-    let out = Array.make n (f a.(0)) in
-    for i = 1 to n - 1 do
-      out.(i) <- f a.(i)
-    done;
-    out
-  end
-
-let map ~jobs f a =
-  let n = Array.length a in
-  if jobs <= 1 || n <= 1 then map_serial f a
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r =
-            try Ok (f a.(i))
-            with exn -> Error (exn, Printexc.get_raw_backtrace ())
-          in
-          results.(i) <- Some r;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let extra = min jobs n - 1 in
-    let domains = Array.init extra (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
-        | None -> assert false)
-      results
-  end
-
-let default_jobs () =
-  match Sys.getenv_opt "REPRO_JOBS" with
-  | None -> 1
-  | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some j when j >= 1 -> j
-    | Some _ | None ->
-      prerr_endline "warning: ignoring invalid REPRO_JOBS";
-      1)
+(* The Domain worker pool lives in lib/parallel so that libraries below
+   the runner in the dependency order (synth's replication engine) can
+   share it; this module keeps the historical [Runner.Pool] path. *)
+include Parallel

@@ -9,6 +9,32 @@ let stddev = function
     let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
     sqrt (ss /. float_of_int (List.length xs))
 
+let sample_stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+(* Two-sided 95% Student-t critical values by degrees of freedom;
+   beyond the table the normal quantile 1.96 is the asymptote. *)
+let t95_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let student_t95 df =
+  if df < 1 then invalid_arg "Summary.student_t95: df must be >= 1";
+  if df <= Array.length t95_table then t95_table.(df - 1) else 1.960
+
+let ci95_half_width = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let n = List.length xs in
+    student_t95 (n - 1) *. sample_stddev xs /. sqrt (float_of_int n)
+
 let cov xs =
   let m = mean xs in
   if m = 0.0 then 0.0 else stddev xs /. m

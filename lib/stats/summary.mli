@@ -2,7 +2,22 @@
     paper's evaluation (Section 4). *)
 
 val mean : float list -> float
+
 val stddev : float list -> float
+(** Population standard deviation (divides by n). *)
+
+val sample_stddev : float list -> float
+(** Unbiased sample standard deviation (divides by n-1); 0 for fewer
+    than two samples. *)
+
+val student_t95 : int -> float
+(** Two-sided 95% Student-t critical value for the given degrees of
+    freedom (>= 1; the normal quantile 1.96 past df = 30). *)
+
+val ci95_half_width : float list -> float
+(** Half-width of the 95% confidence interval of the mean,
+    [t_{0.975,n-1} * s / sqrt n] with [s] the sample stddev; 0 for
+    fewer than two samples. *)
 
 val cov : float list -> float
 (** Coefficient of variation: stddev / mean (Section 4.1's convergence

@@ -11,6 +11,12 @@ let span_generate = Telemetry.span "synth.generate"
 let span_reduce = Telemetry.span "synth.reduce"
 let c_instructions = Telemetry.counter "synth.instructions"
 
+(* The paper's dependency retry rule re-draws a distance up to 1,000
+   times and then silently drops the dependency; this counter makes the
+   drop path visible (a high rate means the profile's distance
+   distributions are dominated by destination-less producers). *)
+let c_dep_squashed = Telemetry.counter "synth.dep_squashed"
+
 (* Distribution telemetry for the fidelity observatory: the dependency
    distances actually emitted (after the retry/squash rule, so what the
    simulator will see rather than what the profile stored) and the
@@ -28,18 +34,51 @@ let sample_flag rng num den =
 let sample_l2 rng ~l1 ~l2_misses ~l1_misses =
   l1 && sample_flag rng l2_misses l1_misses
 
-let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
+(* Where the random walk stands between two [next] calls. [After rn]
+   means the block [rn] has been fully emitted and its outgoing edge has
+   not yet been drawn — deferring the draw to the next pull keeps the
+   RNG call sequence identical to the materialized path, since there is
+   a single consumer of the stream's generator. *)
+type walk_state =
+  | Start
+  | Emitting of rnode * int  (* block, next slot index *)
+  | After of rnode
+  | Finished
+
+type stream = {
+  rng : Prng.t;
+  by_key : (int, rnode) Hashtbl.t;
+  live : int;  (* total block visits the walk owes *)
+  use_edges : bool;
+  (* recent destination-producing status, for the dependency retry rule *)
+  recent_has_dest : bool array;
+  mutable pos : int;
+  mutable redirect_run : int;
+  mutable visits : int;
+  mutable state : walk_state;
+  stream_k : int;
+  stream_reduction : int;
+  stream_seed : int;
+}
+
+let derive_reduction ?reduction ?target_length total =
+  match (reduction, target_length) with
+  | Some r, None -> r
+  | None, Some len ->
+    (* ceiling division: flooring R here lets a short profile overshoot
+       the requested length by a whole reduction bucket (e.g. 10,000
+       instructions at target 6,000 floors to R=1 and emits all
+       10,000); rounding R up keeps the trace at or under target *)
+    let len = max 1 len in
+    max 1 ((total + len - 1) / len)
+  | None, None -> 100
+  | Some _, Some _ ->
+    invalid_arg "Generate.generate: give reduction or target_length, not both"
+
+let stream ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
   let total_instructions = max 1 p.instructions in
-  let r =
-    match (reduction, target_length) with
-    | Some r, None -> r
-    | None, Some len -> max 1 (total_instructions / max 1 len)
-    | None, None -> 100
-    | Some _, Some _ ->
-      invalid_arg "Generate.generate: give reduction or target_length, not both"
-  in
+  let r = derive_reduction ?reduction ?target_length total_instructions in
   if r < 1 then invalid_arg "Generate.generate: reduction must be >= 1";
-  let tel = Telemetry.start () in
   let rng = Prng.create ~seed in
   (* step 0: the reduced statistical flow graph *)
   let tel_reduce = Telemetry.start () in
@@ -68,149 +107,192 @@ let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
     by_key;
   Telemetry.stop span_reduce tel_reduce;
   let live = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) by_key 0 in
-  let out = ref [] in
-  let emitted = ref 0 in
-  (* recent destination-producing status, for the dependency retry rule *)
-  let recent_has_dest = Array.make (Profile.Sfg.dep_cap + 1) true in
-  let pos = ref 0 in
-  let redirect_run = ref 0 in
-  let emit_inst (i : Trace.inst) =
-    out := i :: !out;
-    recent_has_dest.(!pos mod (Profile.Sfg.dep_cap + 1)) <-
-      Isa.Iclass.has_dest i.klass;
-    incr pos;
-    incr emitted;
-    (match i.branch with
-    | Some b when b.Trace.redirect ->
-      Telemetry.observe h_redirect_run !redirect_run;
-      redirect_run := 0
-    | _ -> incr redirect_run)
+  {
+    rng;
+    by_key;
+    live;
+    (* k = 0 means "no edges in the graph" (Section 2.1.1): blocks are
+       drawn independently from the occurrence distribution *)
+    use_edges = p.k > 0;
+    recent_has_dest = Array.make (Profile.Sfg.dep_cap + 1) true;
+    pos = 0;
+    redirect_run = 0;
+    visits = 0;
+    state = Start;
+    stream_k = p.k;
+    stream_reduction = r;
+    stream_seed = seed;
+  }
+
+let stream_reduction t = t.stream_reduction
+let stream_k t = t.stream_k
+let stream_seed t = t.stream_seed
+
+let producer_has_dest t delta =
+  let target = t.pos - delta in
+  target < 0 || t.recent_has_dest.(target mod (Profile.Sfg.dep_cap + 1))
+
+let sample_dep t hist =
+  if Stats.Histogram.is_empty hist then 0
+  else begin
+    let rec try_draw n =
+      if n = 0 then begin
+        (* squash the dependency, per the paper *)
+        Telemetry.incr c_dep_squashed;
+        0
+      end
+      else
+        let delta = Stats.Histogram.sample hist t.rng in
+        if producer_has_dest t delta then delta else try_draw (n - 1)
+    in
+    let delta = try_draw dep_retries in
+    Telemetry.observe h_dep_distance delta;
+    delta
+  end
+
+let emit_slot t (n : Profile.Sfg.node) (slot : Profile.Sfg.slot) =
+  let rng = t.rng in
+  let raw = Array.map (sample_dep t) slot.deps in
+  let deps =
+    (* anti/output dependencies generated only when the profile
+       recorded them (in-order / no-renaming machines) *)
+    if Stats.Histogram.is_empty slot.waw && Stats.Histogram.is_empty slot.war
+    then raw
+    else Array.append raw [| sample_dep t slot.waw; sample_dep t slot.war |]
   in
-  let producer_has_dest delta =
-    let target = !pos - delta in
-    target < 0
-    || recent_has_dest.(target mod (Profile.Sfg.dep_cap + 1))
+  let l1i = sample_flag rng n.l1i_misses n.fetches in
+  let l2i =
+    sample_l2 rng ~l1:l1i ~l2_misses:n.l2i_misses ~l1_misses:n.l1i_misses
   in
-  let sample_dep hist =
-    if Stats.Histogram.is_empty hist then 0
+  let itlb = sample_flag rng n.itlb_misses n.fetches in
+  let is_load = Isa.Iclass.is_load slot.klass in
+  let l1d = is_load && sample_flag rng n.l1d_misses n.loads in
+  let l2d =
+    is_load
+    && sample_l2 rng ~l1:l1d ~l2_misses:n.l2d_misses ~l1_misses:n.l1d_misses
+  in
+  let dtlb = is_load && sample_flag rng n.dtlb_misses n.loads in
+  let branch =
+    if not (Isa.Iclass.is_branch slot.klass) then None
     else begin
-      let rec try_draw n =
-        if n = 0 then 0 (* squash the dependency, per the paper *)
-        else
-          let delta = Stats.Histogram.sample hist rng in
-          if producer_has_dest delta then delta else try_draw (n - 1)
+      let taken =
+        if n.br_execs = 0 then true else sample_flag rng n.br_taken n.br_execs
       in
-      let delta = try_draw dep_retries in
-      Telemetry.observe h_dep_distance delta;
-      delta
+      let mis_p = Profile.Sfg.mispredict_rate n in
+      let red_p = Profile.Sfg.redirect_rate n in
+      let u = Prng.unit_float rng in
+      let mispredict = u < mis_p in
+      let redirect = (not mispredict) && u < mis_p +. red_p in
+      Some { Trace.taken; mispredict; redirect }
     end
   in
-  let emit_block (rn : rnode) =
-    let n = rn.node in
-    Array.iter
-      (fun (slot : Profile.Sfg.slot) ->
-        let raw = Array.map sample_dep slot.deps in
-        let deps =
-          (* anti/output dependencies generated only when the profile
-             recorded them (in-order / no-renaming machines) *)
-          if Stats.Histogram.is_empty slot.waw && Stats.Histogram.is_empty slot.war
-          then raw
-          else Array.append raw [| sample_dep slot.waw; sample_dep slot.war |]
-        in
-        let l1i = sample_flag rng n.l1i_misses n.fetches in
-        let l2i =
-          sample_l2 rng ~l1:l1i ~l2_misses:n.l2i_misses ~l1_misses:n.l1i_misses
-        in
-        let itlb = sample_flag rng n.itlb_misses n.fetches in
-        let is_load = Isa.Iclass.is_load slot.klass in
-        let l1d = is_load && sample_flag rng n.l1d_misses n.loads in
-        let l2d =
-          is_load
-          && sample_l2 rng ~l1:l1d ~l2_misses:n.l2d_misses
-               ~l1_misses:n.l1d_misses
-        in
-        let dtlb = is_load && sample_flag rng n.dtlb_misses n.loads in
-        let branch =
-          if not (Isa.Iclass.is_branch slot.klass) then None
-          else begin
-            let taken =
-              if n.br_execs = 0 then true
-              else sample_flag rng n.br_taken n.br_execs
-            in
-            let mis_p = Profile.Sfg.mispredict_rate n in
-            let red_p = Profile.Sfg.redirect_rate n in
-            let u = Prng.unit_float rng in
-            let mispredict = u < mis_p in
-            let redirect = (not mispredict) && u < mis_p +. red_p in
-            Some { Trace.taken; mispredict; redirect }
-          end
-        in
-        emit_inst
-          {
-            Trace.klass = slot.klass;
-            deps;
-            l1i_miss = l1i;
-            l2i_miss = l2i;
-            itlb_miss = itlb;
-            l1d_miss = l1d;
-            l2d_miss = l2d;
-            dtlb_miss = dtlb;
-            block = n.block;
-            branch;
-          })
-      n.slots
+  let i =
+    {
+      Trace.klass = slot.klass;
+      deps;
+      l1i_miss = l1i;
+      l2i_miss = l2i;
+      itlb_miss = itlb;
+      l1d_miss = l1d;
+      l2d_miss = l2d;
+      dtlb_miss = dtlb;
+      block = n.block;
+      branch;
+    }
   in
-  (* step 1: start-node selection by cumulative occurrence distribution *)
-  let pick_start () =
-    let total = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) by_key 0 in
-    if total = 0 then None
+  t.recent_has_dest.(t.pos mod (Profile.Sfg.dep_cap + 1)) <-
+    Isa.Iclass.has_dest i.klass;
+  t.pos <- t.pos + 1;
+  Telemetry.incr c_instructions;
+  (match i.branch with
+  | Some b when b.Trace.redirect ->
+    Telemetry.observe h_redirect_run t.redirect_run;
+    t.redirect_run <- 0
+  | _ -> t.redirect_run <- t.redirect_run + 1);
+  i
+
+(* step 1: start-node selection by cumulative occurrence distribution *)
+let pick_start t =
+  let total = Hashtbl.fold (fun _ rn acc -> acc + rn.remaining) t.by_key 0 in
+  if total = 0 then None
+  else begin
+    let x = 1 + Prng.int t.rng total in
+    let acc = ref 0 and chosen = ref None in
+    (try
+       Hashtbl.iter
+         (fun _ rn ->
+           if rn.remaining > 0 then begin
+             acc := !acc + rn.remaining;
+             if !acc >= x then begin
+               chosen := Some rn;
+               raise Exit
+             end
+           end)
+         t.by_key
+     with Exit -> ());
+    !chosen
+  end
+
+let start_block t rn =
+  rn.remaining <- rn.remaining - 1;
+  t.visits <- t.visits + 1;
+  t.state <- Emitting (rn, 0)
+
+let restart t =
+  if t.visits >= t.live then t.state <- Finished
+  else
+    match pick_start t with
+    | Some rn -> start_block t rn
+    | None -> t.state <- Finished
+
+(* step 9: follow an outgoing edge by transition probability *)
+let advance t rn =
+  if (not t.use_edges) || Array.length rn.out_keys = 0 then restart t
+  else begin
+    let idx = Prng.choose_weighted t.rng ~weights:rn.out_weights in
+    let succ = Hashtbl.find t.by_key rn.out_keys.(idx) in
+    if succ.remaining > 0 then start_block t succ else restart t
+  end
+
+let rec next t =
+  match t.state with
+  | Finished -> None
+  | Start ->
+    restart t;
+    next t
+  | After rn ->
+    advance t rn;
+    next t
+  | Emitting (rn, i) ->
+    let slots = rn.node.slots in
+    if i >= Array.length slots then begin
+      t.state <- After rn;
+      next t
+    end
     else begin
-      let x = 1 + Prng.int rng total in
-      let acc = ref 0 and chosen = ref None in
-      (try
-         Hashtbl.iter
-           (fun _ rn ->
-             if rn.remaining > 0 then begin
-               acc := !acc + rn.remaining;
-               if !acc >= x then begin
-                 chosen := Some rn;
-                 raise Exit
-               end
-             end)
-           by_key
-       with Exit -> ());
-      !chosen
+      t.state <- Emitting (rn, i + 1);
+      Some (emit_slot t rn.node slots.(i))
     end
+
+let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
+  let tel = Telemetry.start () in
+  let s = stream ?reduction ?target_length p ~seed in
+  let out = ref [] in
+  let rec drain () =
+    match next s with
+    | Some i ->
+      out := i :: !out;
+      drain ()
+    | None -> ()
   in
-  let visits = ref 0 in
-  (* k = 0 means "no edges in the graph" (Section 2.1.1): blocks are
-     drawn independently from the occurrence distribution *)
-  let use_edges = p.k > 0 in
-  let rec walk rn =
-    rn.remaining <- rn.remaining - 1;
-    incr visits;
-    emit_block rn;
-    (* step 9: follow an outgoing edge by transition probability *)
-    if (not use_edges) || Array.length rn.out_keys = 0 then restart ()
-    else begin
-      let idx = Prng.choose_weighted rng ~weights:rn.out_weights in
-      let succ = Hashtbl.find by_key rn.out_keys.(idx) in
-      if succ.remaining > 0 then walk succ else restart ()
-    end
-  and restart () =
-    if !visits < live then
-      match pick_start () with Some rn -> walk rn | None -> ()
-  in
-  restart ();
-  ignore !emitted;
+  drain ();
   let trace =
     {
       Trace.insts = Array.of_list (List.rev !out);
       k = p.k;
-      reduction = r;
+      reduction = s.stream_reduction;
       seed;
     }
   in
-  Telemetry.add c_instructions (Array.length trace.Trace.insts);
   Telemetry.stop span_generate tel;
   trace

@@ -15,7 +15,41 @@
 
     Dependency sampling implements the paper's retry rule: a sampled
     distance whose producer would be a branch or store (no destination
-    register) is re-drawn up to 1,000 times, then dropped. *)
+    register) is re-drawn up to 1,000 times, then dropped (each drop is
+    counted on the [synth.dep_squashed] telemetry counter).
+
+    The walk is exposed in two forms over the same sampling core:
+    {!generate} materializes a {!Trace.t}, while {!stream}/{!next} pull
+    instructions one at a time in constant memory — feeding the pipeline
+    directly without the intermediate array. For equal arguments and
+    seed the two paths draw from the PRNG in the same order and
+    therefore produce bit-identical instruction sequences. *)
+
+type stream
+(** An in-progress random walk: a single-consumer pull generator. *)
+
+val stream :
+  ?reduction:int ->
+  ?target_length:int ->
+  Profile.Stat_profile.t ->
+  seed:int ->
+  stream
+(** Reduce the SFG and position the walk before its first block.
+    Argument handling is exactly {!generate}'s; raises
+    [Invalid_argument] under the same conditions. *)
+
+val next : stream -> Trace.inst option
+(** The walk's next instruction, or [None] once every reduced
+    occurrence count has been consumed. *)
+
+val stream_reduction : stream -> int
+(** The reduction factor R in effect (derived when [target_length] was
+    given). *)
+
+val stream_k : stream -> int
+(** The SFG order of the profile the stream walks. *)
+
+val stream_seed : stream -> int
 
 val generate :
   ?reduction:int ->
@@ -24,5 +58,9 @@ val generate :
   seed:int ->
   Trace.t
 (** Provide either [reduction] (R) directly or [target_length] in
-    instructions (R is then derived); defaults to [reduction = 100].
-    Raises [Invalid_argument] if the reduced graph is empty. *)
+    instructions; defaults to [reduction = 100]. When [target_length]
+    is given, R is the {e ceiling} of profiled instructions over the
+    target, so the emitted trace does not overshoot the request (a
+    floored R could exceed it by a whole reduction bucket on short
+    profiles). Raises [Invalid_argument] if the reduced graph is
+    empty. *)

@@ -1,12 +1,25 @@
 module P = Uarch.Pipeline.Make (Synth_feed)
+module P_stream = Uarch.Pipeline.Make (Stream_feed)
 
-(* Stage telemetry: synthetic-trace out-of-order simulation. *)
+(* Stage telemetry: synthetic-trace out-of-order simulation. The
+   streamed variant gets its own span because its time includes the
+   interleaved generation work (there is no separate generate pass). *)
 let span_simulate = Telemetry.span "synth.simulate"
+let span_stream = Telemetry.span "synth.simulate_stream"
 let c_instructions = Telemetry.counter "synth.simulated_instructions"
 
 let run ?wrong_path_locality cfg trace =
   Telemetry.time span_simulate (fun () ->
       let m = P.run cfg (Synth_feed.create ?wrong_path_locality cfg trace) in
+      Telemetry.add c_instructions m.Uarch.Metrics.committed;
+      m)
+
+let run_stream ?wrong_path_locality ?window ?reduction ?target_length cfg p
+    ~seed =
+  Telemetry.time span_stream (fun () ->
+      let s = Generate.stream ?reduction ?target_length p ~seed in
+      let feed = Stream_feed.of_stream ?wrong_path_locality ?window cfg s in
+      let m = P_stream.run cfg feed in
       Telemetry.add c_instructions m.Uarch.Metrics.committed;
       m)
 

@@ -4,6 +4,21 @@
 val run :
   ?wrong_path_locality:bool -> Config.Machine.t -> Trace.t -> Uarch.Metrics.t
 
+val run_stream :
+  ?wrong_path_locality:bool ->
+  ?window:int ->
+  ?reduction:int ->
+  ?target_length:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  seed:int ->
+  Uarch.Metrics.t
+(** Fused generate-and-simulate: walk the reduced SFG and stream the
+    instructions straight into the pipeline through {!Stream_feed},
+    in memory proportional to the feed window rather than the trace
+    length. Bit-identical to
+    [run cfg (Generate.generate ... ~seed)] for equal arguments. *)
+
 val run_many : Config.Machine.t -> Trace.t list -> Uarch.Metrics.t list
 
 val mean_ipc : Uarch.Metrics.t list -> float

@@ -1,0 +1,36 @@
+(** Feed adapter running a {e streaming} synthetic walk through the
+    shared pipeline: the generator yields instructions directly into
+    the simulator in constant memory — no intermediate {!Trace.t}.
+
+    Semantics are identical to {!Synth_feed} (same locality-charge
+    rules, same wrong-path treatment); only the storage differs. A
+    {!Uarch.Feed.Ring} keeps the most recent window of instructions so
+    squash-and-refetch can replay in-flight positions; the per-position
+    "miss already charged" bits live in the same window and are cleared
+    as slots are recycled. For the same profile, arguments and seed,
+    simulating through this feed produces bit-identical
+    {!Uarch.Metrics} to materializing the trace and using
+    {!Synth_feed} (covered by a qcheck property). *)
+
+type t
+
+val create :
+  ?wrong_path_locality:bool ->
+  ?window:int ->
+  Config.Machine.t ->
+  (unit -> Trace.inst option) ->
+  t
+(** [create cfg produce] wraps a pull generator. [window] (default
+    16384) is clamped up so it always covers the deepest squash rewind
+    (RUU + IFQ + one fetch burst). [wrong_path_locality] as in
+    {!Synth_feed.create}. *)
+
+val of_stream :
+  ?wrong_path_locality:bool ->
+  ?window:int ->
+  Config.Machine.t ->
+  Generate.stream ->
+  t
+(** Convenience: feed straight from {!Generate.stream}. *)
+
+include Uarch.Feed.S with type t := t

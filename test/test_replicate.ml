@@ -1,0 +1,195 @@
+(* Streaming replication engine tests: streamed/materialized
+   bit-identity, deterministic seed splitting, jobs-independence of the
+   aggregate report, adaptive CI mode. *)
+
+let check = Alcotest.(check bool)
+
+let cfg = Config.Machine.baseline
+
+let profile_of name len =
+  Statsim.profile cfg
+    (Workload.Suite.stream (Workload.Suite.find name) ~length:len)
+
+(* one shared profile: every case here explores seeds, not workloads *)
+let shared_p = lazy (profile_of "gcc" 16_000)
+
+(* satellite 1: for any seed and target length, the pull generator
+   yields the same instruction sequence as the materialized trace, and
+   the two pipeline paths produce identical metric wire encodings *)
+let prop_stream_equals_materialized =
+  QCheck.Test.make ~name:"streamed = materialized (insts and metrics)"
+    ~count:8
+    QCheck.(pair (int_range 0 1_000_000) (int_range 500 8_000))
+    (fun (seed, target) ->
+      let p = Lazy.force shared_p in
+      let tr = Synth.Generate.generate ~target_length:target p ~seed in
+      let s = Synth.Generate.stream ~target_length:target p ~seed in
+      let rec drain acc =
+        match Synth.Generate.next s with
+        | Some i -> drain (i :: acc)
+        | None -> Array.of_list (List.rev acc)
+      in
+      let streamed_insts = drain [] in
+      if streamed_insts <> tr.Synth.Trace.insts then
+        QCheck.Test.fail_report "instruction sequences differ";
+      let ms = Synth.Run.run_stream ~target_length:target cfg p ~seed in
+      let mm = Synth.Run.run cfg tr in
+      if Uarch.Metrics.encode ms <> Uarch.Metrics.encode mm then
+        QCheck.Test.fail_report "metric encodings differ";
+      true)
+
+(* satellite 2 (first half): seed splitting is deterministic, pairwise
+   distinct and prefix-stable *)
+let prop_seed_split =
+  QCheck.Test.make ~name:"seed split deterministic/distinct/prefix-stable"
+    ~count:200
+    QCheck.(pair int (int_range 1 64))
+    (fun (master_seed, n) ->
+      let a = Synth.Replicate.split_seeds ~master_seed ~n in
+      let b = Synth.Replicate.split_seeds ~master_seed ~n in
+      if a <> b then QCheck.Test.fail_report "not deterministic";
+      let seen = Hashtbl.create n in
+      Array.iter
+        (fun s ->
+          if Hashtbl.mem seen s then
+            QCheck.Test.fail_report "seeds not pairwise distinct";
+          if s < 0 then QCheck.Test.fail_report "negative seed";
+          Hashtbl.add seen s ())
+        a;
+      let k = 1 + ((n - 1) / 2) in
+      if Array.sub a 0 k <> Synth.Replicate.split_seeds ~master_seed ~n:k
+      then QCheck.Test.fail_report "not prefix-stable";
+      true)
+
+let test_split_rejects_zero () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Replicate.split_seeds: n must be >= 1") (fun () ->
+      ignore (Synth.Replicate.split_seeds ~master_seed:1 ~n:0))
+
+(* satellite 2 (second half): the aggregate report is byte-identical
+   whatever the worker count, streamed or not *)
+let test_jobs_independent () =
+  let p = Lazy.force shared_p in
+  let render r = Telemetry.Json.to_string (Synth.Replicate.to_json r) in
+  let serial =
+    Synth.Replicate.run ~jobs:1 ~target_length:2_000 cfg p ~master_seed:99
+      ~replicas:6
+  in
+  let parallel =
+    Synth.Replicate.run ~jobs:4 ~target_length:2_000 cfg p ~master_seed:99
+      ~replicas:6
+  in
+  Alcotest.(check string) "jobs 1 = jobs 4" (render serial) (render parallel);
+  let streamed =
+    Synth.Replicate.run ~jobs:4 ~stream:true ~target_length:2_000 cfg p
+      ~master_seed:99 ~replicas:6
+  in
+  check "streamed flag recorded" true streamed.Synth.Replicate.streamed;
+  (* the streamed engine draws the same per-replica metrics, so the
+     documents differ only in the streamed flag *)
+  Alcotest.(check (list string)) "streamed replicas bit-identical"
+    (Array.to_list
+       (Array.map Uarch.Metrics.encode serial.Synth.Replicate.metrics))
+    (Array.to_list
+       (Array.map Uarch.Metrics.encode streamed.Synth.Replicate.metrics))
+
+let test_aggregate_statistics () =
+  let p = Lazy.force shared_p in
+  let r =
+    Synth.Replicate.run ~jobs:2 ~stream:true ~target_length:2_000 cfg p
+      ~master_seed:7 ~replicas:5
+  in
+  Alcotest.(check int) "replica count" 5 (Synth.Replicate.replicas r);
+  Alcotest.(check int) "one metrics record per replica" 5
+    (Array.length r.Synth.Replicate.metrics);
+  (* the aggregate must match a recomputation from the raw samples *)
+  let ipcs =
+    Array.to_list (Array.map Uarch.Metrics.ipc r.Synth.Replicate.metrics)
+  in
+  Alcotest.(check (float 1e-12)) "mean" (Stats.Summary.mean ipcs)
+    r.Synth.Replicate.ipc.Synth.Replicate.mean;
+  Alcotest.(check (float 1e-12)) "stddev"
+    (Stats.Summary.sample_stddev ipcs)
+    r.Synth.Replicate.ipc.Synth.Replicate.stddev;
+  Alcotest.(check (float 1e-12)) "ci95"
+    (Stats.Summary.ci95_half_width ipcs)
+    r.Synth.Replicate.ipc.Synth.Replicate.ci95;
+  check "ci95 finite" true (Float.is_finite r.Synth.Replicate.ipc.Synth.Replicate.ci95);
+  (* six stall causes, each a fraction of cycles in [0, 1] *)
+  Alcotest.(check int) "six stall causes" 6
+    (List.length r.Synth.Replicate.stall_fractions);
+  List.iter
+    (fun (name, (s : Synth.Replicate.stat)) ->
+      if s.mean < 0.0 || s.mean > 1.0 then
+        Alcotest.failf "%s: fraction mean %f out of range" name s.mean)
+    r.Synth.Replicate.stall_fractions;
+  (* replica metrics are reproducible from their recorded seeds *)
+  let m0 =
+    Synth.Run.run_stream ~target_length:2_000 cfg p
+      ~seed:r.Synth.Replicate.seeds.(0)
+  in
+  Alcotest.(check string) "replica 0 reproducible"
+    (Uarch.Metrics.encode r.Synth.Replicate.metrics.(0))
+    (Uarch.Metrics.encode m0)
+
+let test_run_ci () =
+  let p = Lazy.force shared_p in
+  (* a huge target is satisfied immediately at min_replicas *)
+  let loose =
+    Synth.Replicate.run_ci ~jobs:2 ~stream:true ~target_length:1_500
+      ~min_replicas:3 ~max_replicas:16 cfg p ~master_seed:5 ~ci_target:500.0
+  in
+  Alcotest.(check int) "stops at min_replicas" 3
+    (Synth.Replicate.replicas loose);
+  (* an impossible target stops at max_replicas *)
+  let tight =
+    Synth.Replicate.run_ci ~jobs:2 ~stream:true ~target_length:1_500
+      ~min_replicas:2 ~max_replicas:5 cfg p ~master_seed:5 ~ci_target:1e-9
+  in
+  Alcotest.(check int) "caps at max_replicas" 5
+    (Synth.Replicate.replicas tight);
+  (* adaptive growth only extends the seed table: a converged run equals
+     the fixed-count run for the same master seed *)
+  let fixed =
+    Synth.Replicate.run ~jobs:1 ~stream:true ~target_length:1_500 cfg p
+      ~master_seed:5 ~replicas:3
+  in
+  Alcotest.(check string) "prefix semantics"
+    (Telemetry.Json.to_string (Synth.Replicate.to_json fixed))
+    (Telemetry.Json.to_string (Synth.Replicate.to_json loose));
+  Alcotest.check_raises "ci_target must be positive"
+    (Invalid_argument "Replicate.run_ci: ci_target must be positive")
+    (fun () ->
+      ignore
+        (Synth.Replicate.run_ci cfg p ~master_seed:1 ~ci_target:0.0))
+
+let test_render_text () =
+  let p = Lazy.force shared_p in
+  let r =
+    Synth.Replicate.run ~target_length:1_500 cfg p ~master_seed:3 ~replicas:4
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Synth.Replicate.render_text ppf r;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "mentions replica count" true (contains "4 replicas");
+  check "has a CI column" true (contains "95% CI +/-");
+  check "lists stall causes" true (contains "lsq_full");
+  check "no NaNs" true (not (contains "nan"))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_stream_equals_materialized;
+    QCheck_alcotest.to_alcotest prop_seed_split;
+    Alcotest.test_case "split rejects n=0" `Quick test_split_rejects_zero;
+    Alcotest.test_case "jobs-independent report" `Quick test_jobs_independent;
+    Alcotest.test_case "aggregate statistics" `Quick test_aggregate_statistics;
+    Alcotest.test_case "adaptive CI mode" `Quick test_run_ci;
+    Alcotest.test_case "text rendering" `Quick test_render_text;
+  ]

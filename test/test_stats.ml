@@ -130,6 +130,40 @@ let test_relative_error () =
 let test_geomean () =
   Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.Summary.geomean [ 2.0; 8.0 ])
 
+let test_sample_stddev () =
+  (* [1;2;3;4]: SS = 5, sample variance 5/3 *)
+  Alcotest.(check (float 1e-9)) "n-1 denominator"
+    (sqrt (5.0 /. 3.0))
+    (Stats.Summary.sample_stddev [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.Summary.sample_stddev []);
+  Alcotest.(check (float 1e-9)) "singleton" 0.0
+    (Stats.Summary.sample_stddev [ 42.0 ]);
+  (* sample stddev is strictly larger than population stddev for n > 1 *)
+  check "wider than population" true
+    (Stats.Summary.sample_stddev [ 1.0; 2.0 ]
+    > Stats.Summary.stddev [ 1.0; 2.0 ])
+
+let test_student_t95 () =
+  Alcotest.(check (float 1e-9)) "df=1" 12.706 (Stats.Summary.student_t95 1);
+  Alcotest.(check (float 1e-9)) "df=3" 3.182 (Stats.Summary.student_t95 3);
+  Alcotest.(check (float 1e-9)) "df=30" 2.042 (Stats.Summary.student_t95 30);
+  Alcotest.(check (float 1e-9)) "asymptote" 1.960
+    (Stats.Summary.student_t95 1_000);
+  Alcotest.check_raises "df=0 rejected"
+    (Invalid_argument "Summary.student_t95: df must be >= 1") (fun () ->
+      ignore (Stats.Summary.student_t95 0))
+
+let test_ci95_half_width () =
+  (* [1;2;3;4]: t_{0.975,3} * s / sqrt 4 = 3.182 * 1.29099 / 2 *)
+  Alcotest.(check (float 1e-9)) "four samples"
+    (3.182 *. sqrt (5.0 /. 3.0) /. 2.0)
+    (Stats.Summary.ci95_half_width [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.Summary.ci95_half_width []);
+  Alcotest.(check (float 1e-9)) "singleton" 0.0
+    (Stats.Summary.ci95_half_width [ 7.0 ]);
+  Alcotest.(check (float 1e-9)) "constant samples" 0.0
+    (Stats.Summary.ci95_half_width [ 2.0; 2.0; 2.0 ])
+
 let test_histogram_percentile () =
   let h = Stats.Histogram.create () in
   Stats.Histogram.add_many h 1 2;
@@ -175,6 +209,9 @@ let suite =
     Alcotest.test_case "absolute error" `Quick test_absolute_error;
     Alcotest.test_case "relative error" `Quick test_relative_error;
     Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "sample stddev" `Quick test_sample_stddev;
+    Alcotest.test_case "student t95" `Quick test_student_t95;
+    Alcotest.test_case "ci95 half-width" `Quick test_ci95_half_width;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "histogram percentile after merge" `Quick
       test_histogram_percentile_merge;

@@ -26,6 +26,70 @@ let test_target_length () =
   let len = Synth.Trace.length t in
   check "near target" true (abs (len - 5_000) < 1_500)
 
+let test_target_length_no_overshoot () =
+  (* regression: R was floored, so a target over half the profiled
+     length collapsed to R = 1 and the trace overshot the request by a
+     whole reduction bucket (10k instead of 6k here); the ceiling keeps
+     the trace at or under target *)
+  let spec = Workload.Suite.find "gzip" in
+  let p = profile_of spec 10_000 in
+  let t = Synth.Generate.generate ~target_length:6_000 p ~seed:17 in
+  Alcotest.(check int) "ceil(10000/6000) = 2" 2 t.reduction;
+  let len = Synth.Trace.length t in
+  check "does not overshoot the target" true (len <= 6_000);
+  check "still a useful length" true (len >= 3_500)
+
+let test_dep_squash_counter () =
+  (* a store-only profile makes every sampled dependency invalid (no
+     producer has a destination register), so each instruction past the
+     first burns the 1,000 retries and lands on the squash counter *)
+  let sfg = Profile.Sfg.create ~k:0 in
+  let key = Profile.Sfg.key_of_history [| 3 |] ~len:1 in
+  let n = Profile.Sfg.find_or_add sfg ~key ~block:3 in
+  n.Profile.Sfg.occurrences <- 5;
+  let deps = Stats.Histogram.create () in
+  Stats.Histogram.add deps 1;
+  n.Profile.Sfg.slots <-
+    [|
+      {
+        Profile.Sfg.klass = Isa.Iclass.Store;
+        nsrcs = 1;
+        deps = [| deps |];
+        waw = Stats.Histogram.create ();
+        war = Stats.Histogram.create ();
+      };
+    |];
+  let p =
+    {
+      Profile.Stat_profile.sfg;
+      k = 0;
+      cfg;
+      instructions = 5;
+      perfect_caches = true;
+      perfect_bpred = true;
+      branches = 0;
+      mispredicts = 0;
+    }
+  in
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  let counter_now () =
+    Telemetry.counter_total (Telemetry.snapshot ()) "synth.dep_squashed"
+  in
+  let before = counter_now () in
+  let t = Synth.Generate.generate ~reduction:1 p ~seed:3 in
+  Telemetry.set_enabled was;
+  Alcotest.(check int) "replays all occurrences" 5 (Synth.Trace.length t);
+  (* position 0 has no in-range producer (accepted as distance past the
+     trace start); positions 1-4 each squash exactly once *)
+  Alcotest.(check int) "squash count" 4 (counter_now () - before);
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun d -> Alcotest.(check int) "dependency dropped" 0 d)
+        s.Synth.Trace.deps)
+    (Array.sub t.insts 1 4)
+
 let test_both_args_rejected () =
   let spec = Workload.Suite.find "eon" in
   let p = profile_of spec 5_000 in
@@ -238,6 +302,10 @@ let suite =
   [
     Alcotest.test_case "reduction length" `Quick test_reduction_length;
     Alcotest.test_case "target length" `Quick test_target_length;
+    Alcotest.test_case "target length no overshoot" `Quick
+      test_target_length_no_overshoot;
+    Alcotest.test_case "dep-squash telemetry counter" `Quick
+      test_dep_squash_counter;
     Alcotest.test_case "both args rejected" `Quick test_both_args_rejected;
     Alcotest.test_case "excessive reduction" `Quick test_excessive_reduction_rejected;
     Alcotest.test_case "well-formed traces" `Quick test_all_well_formed;
