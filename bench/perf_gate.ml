@@ -77,7 +77,14 @@ let checks =
           both_directions = true;
           abs_slack = 1.0;
         })
-      [ "profile_hits"; "profile_misses"; "reference_hits"; "reference_misses" ]
+      [
+        "profile_hits";
+        "profile_misses";
+        "reference_hits";
+        "reference_misses";
+        "plan_hits";
+        "plan_misses";
+      ]
   (* the CI bench run has no REPRO_CACHE_DIR, so these must stay 0 —
      a nonzero value means the gate run accidentally used a store *)
   @ List.map
@@ -100,6 +107,22 @@ let checks =
           abs_slack = 0.05;
         })
       [ "streamed"; "materialized" ]
+  (* compiled-kernel bench: plan compilation and both engines' wall
+     times, gated one-directionally like every timing *)
+  @ List.map
+      (fun (label, path) ->
+        { label; path; both_directions = false; abs_slack = 0.05 })
+      [
+        ("kernel.compile_seconds", [ "kernel"; "compile_seconds" ]);
+        ( "kernel.generate.interpreted.seconds",
+          [ "kernel"; "generate"; "interpreted"; "seconds" ] );
+        ( "kernel.generate.compiled.seconds",
+          [ "kernel"; "generate"; "compiled"; "seconds" ] );
+        ( "kernel.pipeline.dense.seconds",
+          [ "kernel"; "pipeline"; "dense"; "seconds" ] );
+        ( "kernel.pipeline.event_driven.seconds",
+          [ "kernel"; "pipeline"; "event_driven"; "seconds" ] );
+      ]
 
 type verdict = Ok_ | Regressed | Missing | New
 
@@ -186,6 +209,17 @@ let () =
   | Some b, Some c ->
     Printf.printf "  (total_seconds %.3f -> %.3f, informational)\n" b c
   | _ -> ());
+  (* informational: compiled-over-interpreted throughput ratios from the
+     current run — speed is what the kernel exists for, but a ratio on a
+     shared CI machine is too noisy to gate on *)
+  (match num_field current [ "kernel"; "generate"; "speedup" ] with
+  | Some s ->
+    Printf.printf "  (kernel generate speedup %.2fx compiled/interpreted, informational)\n" s
+  | None -> ());
+  (match num_field current [ "kernel"; "pipeline"; "speedup" ] with
+  | Some s ->
+    Printf.printf "  (kernel pipeline speedup %.2fx event-driven/dense, informational)\n" s
+  | None -> ());
   if !failures > 0 then begin
     Printf.printf "FAIL: %d metric(s) regressed or missing\n" !failures;
     exit 1

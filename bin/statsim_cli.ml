@@ -74,9 +74,19 @@ let ci_target_arg =
   Arg.(
     value & opt (some float) None & info [ "ci-target" ] ~docv:"PCT" ~doc)
 
+let no_compile_arg =
+  let doc =
+    "Use the interpreted SFG walk instead of the compiled execution plan. \
+     The compiled kernel (the default) lowers the graph into flat arrays \
+     with alias samplers and is statistically equivalent; this escape hatch \
+     exists for cross-checking the two engines and for debugging."
+  in
+  Arg.(value & flag & info [ "no-compile" ] ~doc)
+
 let simulate_cmd =
-  let run bench length syn seed k profile_file stream replicas ci_target jobs
-      json =
+  let run bench length syn seed k profile_file stream no_compile replicas
+      ci_target jobs json =
+    let compile = not no_compile in
     let cfg = Config.Machine.baseline in
     let spec = spec_of_name bench in
     let load_profile path =
@@ -106,8 +116,9 @@ let simulate_cmd =
       let eds = Statsim.reference cfg (stream_src ()) in
       let ss =
         let p = collect_profile () in
-        if stream then Statsim.simulate_stream ~target_length:syn cfg p ~seed
-        else Statsim.run_profile ~target_length:syn cfg p ~seed
+        if stream then
+          Statsim.simulate_stream ~compile ~target_length:syn cfg p ~seed
+        else Statsim.run_profile ~compile ~target_length:syn cfg p ~seed
       in
       Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
       let line name get =
@@ -129,10 +140,10 @@ let simulate_cmd =
       let r =
         match ci_target with
         | Some ci_target ->
-          Statsim.replicate_ci ~jobs ~stream ~target_length:syn
+          Statsim.replicate_ci ~jobs ~stream ~compile ~target_length:syn
             ?min_replicas:replicas cfg p ~master_seed:seed ~ci_target
         | None ->
-          Statsim.replicate ~jobs ~stream ~target_length:syn cfg p
+          Statsim.replicate ~jobs ~stream ~compile ~target_length:syn cfg p
             ~master_seed:seed
             ~replicas:(Option.value replicas ~default:4)
       in
@@ -153,8 +164,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
-      $ load_arg $ stream_arg $ replicas_arg $ ci_target_arg $ jobs_arg
-      $ json_arg)
+      $ load_arg $ stream_arg $ no_compile_arg $ replicas_arg $ ci_target_arg
+      $ jobs_arg $ json_arg)
 
 let force_arg =
   let doc = "Overwrite an existing output file." in
@@ -163,7 +174,9 @@ let force_arg =
 (* --- fidelity observatory: statsim diag --- *)
 
 let diag_cmd =
-  let run bench length syn reduction seed k profile_file json check eds =
+  let run bench length syn reduction seed k profile_file no_compile json check
+      eds =
+    let compile = not no_compile in
     let cfg = Config.Machine.baseline in
     let p =
       match profile_file with
@@ -185,8 +198,8 @@ let diag_cmd =
     in
     let tr =
       match reduction with
-      | Some r -> Synth.Generate.generate ~reduction:r p ~seed
-      | None -> Synth.Generate.generate ~target_length:syn p ~seed
+      | Some r -> Synth.Generate.generate ~compile ~reduction:r p ~seed
+      | None -> Synth.Generate.generate ~compile ~target_length:syn p ~seed
     in
     let d = Diag.compare ~label:bench p tr in
     let metrics =
@@ -254,7 +267,8 @@ let diag_cmd =
   Cmd.v (Cmd.info "diag" ~doc)
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ reduction_arg $ seed_arg
-      $ k_opt_arg $ load_arg $ json_arg $ check_arg $ eds_arg)
+      $ k_opt_arg $ load_arg $ no_compile_arg $ json_arg $ check_arg
+      $ eds_arg)
 
 let profile_cmd =
   let run bench length k save force =

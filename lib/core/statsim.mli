@@ -52,7 +52,19 @@ val profile :
 (** Step 1. Defaults: [k = 1], delayed-update branch profiling with a
     FIFO sized to the IFQ, dependency distances capped at 512. *)
 
+val compile_plan :
+  ?reduction:int ->
+  ?target_length:int ->
+  Profile.Stat_profile.t ->
+  Kernel.Plan.t
+(** Lower a profile into a compiled execution plan: flat arrays, alias
+    samplers and fixed-point rate thresholds (see {!Kernel.Compile}).
+    Plans are immutable, shareable across machine configs and domains,
+    and are what every generation entry point below executes unless
+    [~compile:false] selects the interpreted SFG walk. *)
+
 val synthesize :
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Profile.Stat_profile.t ->
@@ -64,6 +76,7 @@ val simulate : Config.Machine.t -> Synth.Trace.t -> result
 (** Step 3. *)
 
 val simulate_stream :
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Config.Machine.t ->
@@ -80,6 +93,7 @@ val run :
   ?branch_mode:Profile.Branch_profiler.mode ->
   ?perfect_caches:bool ->
   ?perfect_bpred:bool ->
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Config.Machine.t ->
@@ -89,6 +103,7 @@ val run :
 (** The full statistical-simulation pipeline on one stream. *)
 
 val run_profile :
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Config.Machine.t ->
@@ -101,9 +116,15 @@ val run_profile :
     collected with; re-profile when the predictor or the caches change
     (the paper makes the same caveat in Section 4.4). *)
 
+val run_plan : Config.Machine.t -> Kernel.Plan.t -> seed:int -> result
+(** Steps 2+3 from an already-compiled plan (streamed, constant
+    memory) — the fast path for design-space sweeps and cached plans:
+    equals [simulate_stream] at the plan's baked-in reduction. *)
+
 val replicate :
   ?jobs:int ->
   ?stream:bool ->
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Config.Machine.t ->
@@ -120,6 +141,7 @@ val replicate :
 val replicate_ci :
   ?jobs:int ->
   ?stream:bool ->
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   ?min_replicas:int ->

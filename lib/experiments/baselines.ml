@@ -18,9 +18,7 @@ let exec cache (spec : Workload.Spec.t) =
   in
   let p = Exp_common.profile cache cfg s in
   let sfg_ipc =
-    (Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-       ~seed:Exp_common.seed)
-      .Statsim.ipc
+    (Exp_common.synthetic cache cfg p ~seed:Exp_common.seed).Statsim.ipc
   in
   let hls_ipc =
     Uarch.Metrics.ipc

@@ -17,7 +17,7 @@ let exec cache ((spec : Workload.Spec.t), len) =
   let p = Exp_common.profile cache cfg (Exp_common.src spec) in
   let ipcs =
     List.init seeds_per_length (fun i ->
-        (Statsim.run_profile ~target_length:len cfg p
+        (Exp_common.synthetic cache ~target_length:len cfg p
            ~seed:(Exp_common.seed + (1000 * i)))
           .Statsim.ipc)
   in

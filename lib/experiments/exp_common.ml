@@ -85,4 +85,12 @@ let profile cache ?k ?dep_cap ?branch_mode ?perfect_caches ?perfect_bpred cfg
   Runner.Cache.profile cache ?k ?dep_cap ?branch_mode ?perfect_caches
     ?perfect_bpred cfg ~stream_key:(src_key s) (fun () -> src_gen s)
 
+let synthetic cache ?reduction ?target_length cfg p ~seed =
+  let plan =
+    match (reduction, target_length) with
+    | None, None -> Runner.Cache.plan cache ~target_length:syn_length p
+    | _ -> Runner.Cache.plan cache ?reduction ?target_length p
+  in
+  Statsim.run_plan cfg plan ~seed
+
 let pct = Stats.Summary.percent

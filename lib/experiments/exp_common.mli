@@ -86,5 +86,20 @@ val profile :
   src ->
   Profile.Stat_profile.t
 
+val synthetic :
+  Runner.Cache.t ->
+  ?reduction:int ->
+  ?target_length:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  seed:int ->
+  Statsim.result
+(** Plan-cached synthetic simulation: compile (or fetch) the profile's
+    execution plan via {!Runner.Cache.plan}, then run it on [cfg].
+    Because plans are machine-independent, a config sweep over one
+    profile compiles exactly once. Defaults to
+    [target_length = syn_length] when neither sizing argument is
+    given; results are bit-identical to {!Statsim.run_profile}. *)
+
 val pct : float -> float
 (** ratio -> percent *)

@@ -19,8 +19,7 @@ let exec cache ((spec : Workload.Spec.t), k) =
     Exp_common.profile cache ~k ~perfect_caches:true ~perfect_bpred:true cfg s
   in
   let ss =
-    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-      ~seed:Exp_common.seed
+    Exp_common.synthetic cache cfg p ~seed:Exp_common.seed
   in
   {
     res_eds_ipc = eds.Statsim.ipc;

@@ -19,8 +19,7 @@ let exec cache ((spec : Workload.Spec.t), m) =
   in
   let p = Exp_common.profile cache ~branch_mode:mode ~perfect_caches:true cfg s in
   let ss =
-    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-      ~seed:Exp_common.seed
+    Exp_common.synthetic cache cfg p ~seed:Exp_common.seed
   in
   Exp_common.pct
     (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc

@@ -12,8 +12,7 @@ let exec cache (spec : Workload.Spec.t) =
   in
   let p = Exp_common.profile cache cfg s in
   let smart =
-    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-      ~seed:Exp_common.seed
+    Exp_common.synthetic cache cfg p ~seed:Exp_common.seed
   in
   let err ipc =
     Exp_common.pct

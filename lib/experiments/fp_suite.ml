@@ -13,8 +13,7 @@ let exec cache (spec : Workload.Spec.t) =
   let eds = Exp_common.reference cache cfg s in
   let p = Exp_common.profile cache cfg s in
   let ss =
-    Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-      ~seed:Exp_common.seed
+    Exp_common.synthetic cache cfg p ~seed:Exp_common.seed
   in
   let err f =
     Exp_common.pct

@@ -14,8 +14,7 @@ let exec cache (spec : Workload.Spec.t) =
   let eds = Exp_common.reference cache cfg s in
   let err p =
     let ss =
-      Statsim.run_profile ~target_length:Exp_common.syn_length cfg p
-        ~seed:Exp_common.seed
+      Exp_common.synthetic cache cfg p ~seed:Exp_common.seed
     in
     Exp_common.pct
       (Stats.Summary.absolute_error ~reference:eds.Statsim.ipc

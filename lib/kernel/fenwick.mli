@@ -1,0 +1,23 @@
+(** Fenwick (binary-indexed) tree over mutable integer weights.
+
+    Backs the compiled walk's start-node selection: draws are
+    proportional to the {e remaining} occurrence counts, which shrink
+    as blocks are visited, so a frozen alias table cannot be used.
+    Draw and update are both O(log n). *)
+
+type t
+
+val create : int array -> t
+(** Tree over the given non-negative weights (index = dense node id). *)
+
+val total : t -> int
+(** Current sum of all weights. *)
+
+val add : t -> int -> int -> unit
+(** [add t i delta] adjusts weight [i] by [delta]. Raises
+    [Invalid_argument] on an out-of-range index. *)
+
+val find : t -> int -> int
+(** [find t x] for [x] in \[1, total\] is the smallest index whose
+    cumulative weight reaches [x] — the inverse-CDF lookup the walk
+    draws with. Raises [Invalid_argument] when [x] is out of range. *)

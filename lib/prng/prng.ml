@@ -1,36 +1,84 @@
-(* PCG32: 64-bit LCG state, XSH-RR output permutation. *)
+(* PCG32: 64-bit LCG state, XSH-RR output permutation.
+
+   The 64-bit state is held as two 32-bit native-int limbs and stepped
+   with limb arithmetic. OCaml boxes [int64] record fields and function
+   results (no flambda), so an [Int64]-based step allocates on every
+   draw — real GC pressure when synthesis draws hundreds of millions of
+   times. The limb step is allocation-free and produces bit-identical
+   streams to the Int64 formulation (the determinism tests and the
+   fixed-seed statistical suites pin the trajectory). *)
 
 type t = {
-  mutable state : int64;
-  inc : int64; (* must be odd; selects the stream *)
+  mutable hi : int;  (* state bits 32..63 *)
+  mutable lo : int;  (* state bits 0..31 *)
+  (* increment (must be odd; selects the stream), same limb split *)
+  inc_hi : int;
+  inc_lo : int;
 }
 
-let multiplier = 6364136223846793005L
+let mask16 = 0xFFFF
+let mask32 = 0xFFFFFFFF
+
+(* multiplier 6364136223846793005 = 0x5851F42D_4C957F2D *)
+let mul_hi = 0x5851F42D
+let mul_lo = 0x4C957F2D
+
+(* low 32 bits of a 32x32-bit product; 16-bit splitting keeps every
+   partial product under 2^48, inside the 63-bit native int *)
+let mul32_low a b =
+  (((a land mask16) * b) + ((((a lsr 16) * b) land mask16) lsl 16)) land mask32
 
 let step t =
-  t.state <- Int64.add (Int64.mul t.state multiplier) t.inc
+  let lo = t.lo and hi = t.hi in
+  (* full 64-bit state * multiplier: the lo*mul_lo product needs both
+     halves (its high bits carry into the new high limb); the two cross
+     products only contribute their low 32 bits *)
+  let q = (lo land mask16) * mul_lo in
+  let r = (lo lsr 16) * mul_lo in
+  let low_sum = q + ((r land mask16) lsl 16) in
+  let carry = (low_sum lsr 32) + (r lsr 16) in
+  let high = carry + mul32_low lo mul_hi + mul32_low hi mul_lo in
+  let t1 = (low_sum land mask32) + t.inc_lo in
+  t.lo <- t1 land mask32;
+  t.hi <- (high + t.inc_hi + (t1 lsr 32)) land mask32
 
-let output state =
-  (* xorshifted = ((state >> 18) ^ state) >> 27, rotated right by state >> 59 *)
-  let open Int64 in
+(* XSH-RR on the pre-step state: xorshifted = low 32 bits of
+   ((state >> 18) ^ state) >> 27, rotated right by state >> 59 *)
+let output hi lo =
   let xorshifted =
-    to_int32 (shift_right_logical (logxor (shift_right_logical state 18) state) 27)
+    (((hi lsl 5) lor (lo lsr 27)) lxor (hi lsr 13)) land mask32
   in
-  let rot = to_int (shift_right_logical state 59) in
-  let open Int32 in
-  logor
-    (shift_right_logical xorshifted rot)
-    (shift_left xorshifted ((-rot) land 31))
+  let rot = hi lsr 27 in
+  ((xorshifted lsr rot) lor (xorshifted lsl (-rot land 31))) land mask32
 
-let bits32 t =
-  let old = t.state in
+let bits t =
+  let hi = t.hi and lo = t.lo in
   step t;
-  output old
+  output hi lo
+
+let bits32 t = Int32.of_int (bits t)
+
+let add64 t v =
+  let s = t.lo + (Int64.to_int v land mask32) in
+  t.lo <- s land mask32;
+  t.hi <-
+    (t.hi
+    + (Int64.to_int (Int64.shift_right_logical v 32) land mask32)
+    + (s lsr 32))
+    land mask32
 
 let make ~state ~inc =
-  let t = { state = 0L; inc = Int64.logor (Int64.shift_left inc 1) 1L } in
+  let inc64 = Int64.logor (Int64.shift_left inc 1) 1L in
+  let t =
+    {
+      hi = 0;
+      lo = 0;
+      inc_hi = Int64.to_int (Int64.shift_right_logical inc64 32) land mask32;
+      inc_lo = Int64.to_int inc64 land mask32;
+    }
+  in
   step t;
-  t.state <- Int64.add t.state state;
+  add64 t state;
   step t;
   t
 
@@ -42,11 +90,7 @@ let split t =
   let i = Int64.of_int32 (bits32 t) in
   make ~state:s ~inc:i
 
-let copy t = { state = t.state; inc = t.inc }
-
-let mask32 = 0xFFFFFFFF
-
-let bits t = Int32.to_int (bits32 t) land mask32
+let copy t = { hi = t.hi; lo = t.lo; inc_hi = t.inc_hi; inc_lo = t.inc_lo }
 
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";

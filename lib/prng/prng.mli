@@ -24,6 +24,12 @@ val copy : t -> t
 val bits32 : t -> int32
 (** Next raw 32 random bits. *)
 
+val bits : t -> int
+(** The same 32 random bits as a non-negative [int] in \[0, 2^32) —
+    the raw draw fixed-point samplers compare against integer
+    thresholds, avoiding the int-to-float conversion of
+    {!unit_float}. *)
+
 val int : t -> int -> int
 (** [int t n] is uniform in \[0, n). Requires [0 < n <= 2^30]. *)
 

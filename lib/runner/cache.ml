@@ -1,7 +1,12 @@
 type t = {
   profiles : Profile.Stat_profile.t Memo.t;
   references : Statsim.result Memo.t;
+  plans : Kernel.Plan.t Memo.t;
   store : Store.t option;
+  (* per-profile content digests, memoized by physical identity so
+     repeated plan lookups don't re-serialize a large profile *)
+  mutable pdigests : (Profile.Stat_profile.t * string) list;
+  pdigest_mu : Mutex.t;
 }
 
 type stats = {
@@ -9,6 +14,8 @@ type stats = {
   profile_misses : int;
   reference_hits : int;
   reference_misses : int;
+  plan_hits : int;
+  plan_misses : int;
   store_hits : int;
   store_misses : int;
   store_bytes_written : int;
@@ -19,7 +26,10 @@ let create ?store () =
   {
     profiles = Memo.create ~name:"cache.profile" ();
     references = Memo.create ~name:"cache.reference" ();
+    plans = Memo.create ~name:"cache.plan" ();
     store;
+    pdigests = [];
+    pdigest_mu = Mutex.create ();
   }
 
 let store t = t.store
@@ -37,6 +47,8 @@ let stats t =
     profile_misses = Memo.misses t.profiles;
     reference_hits = Memo.hits t.references;
     reference_misses = Memo.misses t.references;
+    plan_hits = Memo.hits t.plans;
+    plan_misses = Memo.misses t.plans;
     store_hits = s.Store.hits;
     store_misses = s.Store.misses;
     store_bytes_written = s.Store.bytes_written;
@@ -85,6 +97,35 @@ let profile t ?(k = 1) ?(dep_cap = Profile.Sfg.dep_cap) ?branch_mode
     (fun () ->
       Profile.Stat_profile.collect ~k ~dep_cap ~branch_mode ~perfect_caches
         ~perfect_bpred cfg (mk ()))
+
+let profile_digest t p =
+  Mutex.protect t.pdigest_mu (fun () ->
+      match List.find_opt (fun (q, _) -> q == p) t.pdigests with
+      | Some (_, d) -> d
+      | None ->
+        let d = Digest.to_hex (Digest.string (Profile.Serialize.to_string p)) in
+        t.pdigests <- (p, d) :: t.pdigests;
+        d)
+
+(* Plans are machine-independent (only the static per-class operation
+   latencies are baked in, and those are covered by the plan format
+   version), so the key is just the profile's content digest and the
+   resolved reduction: one plan serves every pipeline configuration of
+   a design-space sweep. *)
+let plan t ?reduction ?target_length (p : Profile.Stat_profile.t) =
+  let r =
+    Kernel.Compile.derive_reduction ?reduction ?target_length
+      (max 1 p.instructions)
+  in
+  let key = Printf.sprintf "%s|r=%d" (profile_digest t p) r in
+  tiered t.plans t.store ~key
+    ~store_key:(Printf.sprintf "plan/fmt%d/%s" Kernel.Plan.version key)
+    ~encode:Kernel.Plan.to_string
+    ~decode:(fun s ->
+      match Kernel.Plan.of_string s with
+      | pl -> Ok pl
+      | exception Failure msg -> Error msg)
+    (fun () -> Kernel.Compile.plan ~reduction:r p)
 
 let reference t ?max_instructions ?(perfect_caches = false)
     ?(perfect_bpred = false) cfg ~stream_key mk =

@@ -27,6 +27,8 @@ type stats = {
   profile_misses : int;
   reference_hits : int;
   reference_misses : int;
+  plan_hits : int;
+  plan_misses : int;
   store_hits : int;  (** lookups answered by the persistent store *)
   store_misses : int;  (** store lookups that fell through to compute *)
   store_bytes_written : int;
@@ -61,6 +63,19 @@ val profile :
     delayed branch profiling with an IFQ-sized FIFO), and the defaults
     are normalized into the key so explicit-default and implicit calls
     share an entry. *)
+
+val plan :
+  t ->
+  ?reduction:int ->
+  ?target_length:int ->
+  Profile.Stat_profile.t ->
+  Kernel.Plan.t
+(** Memoized {!Kernel.Compile.plan}. The key is the profile's content
+    digest (memoized per physical profile value) plus the resolved
+    reduction factor — plans are machine-independent, so one entry
+    serves every pipeline configuration of a sweep. Store entries
+    round-trip through the exact-integer plan codec and therefore
+    sample bit-identically to a freshly compiled plan. *)
 
 val reference :
   t ->

@@ -1,3 +1,12 @@
+(* Two walk engines share this module: the interpreted walk samples the
+   reduced SFG's histograms and rates directly, while the compiled walk
+   (the default) executes a Kernel.Plan — flat arrays, alias samplers
+   and fixed-point thresholds. Both implement the paper's nine-step
+   algorithm with identical control structure; they differ only in how
+   each draw is serviced, so they agree in distribution while the
+   compiled path does no hashing, float division or CDF scans per
+   instruction. *)
+
 type rnode = {
   node : Profile.Sfg.node;
   mutable remaining : int;
@@ -5,10 +14,12 @@ type rnode = {
   mutable out_weights : float array;
 }
 
-(* Stage telemetry: the whole generation pass, the SFG-reduction step
-   within it, and the synthetic instructions produced. *)
+(* Stage telemetry: the whole generation pass, the SFG-reduction /
+   plan-compilation step within it, and the synthetic instructions
+   produced. *)
 let span_generate = Telemetry.span "synth.generate"
 let span_reduce = Telemetry.span "synth.reduce"
+let span_compile = Telemetry.span "synth.compile"
 let c_instructions = Telemetry.counter "synth.instructions"
 
 (* The paper's dependency retry rule re-draws a distance up to 1,000
@@ -45,7 +56,7 @@ type walk_state =
   | After of rnode
   | Finished
 
-type stream = {
+type istream = {
   rng : Prng.t;
   by_key : (int, rnode) Hashtbl.t;
   live : int;  (* total block visits the walk owes *)
@@ -61,21 +72,42 @@ type stream = {
   stream_seed : int;
 }
 
-let derive_reduction ?reduction ?target_length total =
-  match (reduction, target_length) with
-  | Some r, None -> r
-  | None, Some len ->
-    (* ceiling division: flooring R here lets a short profile overshoot
-       the requested length by a whole reduction bucket (e.g. 10,000
-       instructions at target 6,000 floors to R=1 and emits all
-       10,000); rounding R up keeps the trace at or under target *)
-    let len = max 1 len in
-    max 1 ((total + len - 1) / len)
-  | None, None -> 100
-  | Some _, Some _ ->
-    invalid_arg "Generate.generate: give reduction or target_length, not both"
+(* Compiled-walk state: same phases as [walk_state], against Plan
+   indices, but unboxed into three mutable ints so the per-instruction
+   path allocates nothing beyond the emitted record — a [C_emitting]
+   analogue would cost a 3-word block per instruction. [ph_after]
+   defers the edge draw exactly as [After rn] does; [c_node] carries
+   its payload, and [c_slot] the next absolute slot index while
+   emitting. *)
+let ph_start = 0
+let ph_emitting = 1
+let ph_after = 2
+let ph_finished = 3
 
-let stream ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
+type cstream = {
+  plan : Kernel.Plan.t;
+  c_rng : Prng.t;
+  c_remaining : int array;  (* per dense node index *)
+  start_tree : Kernel.Fenwick.t;  (* remaining counts, for start picks *)
+  c_live : int;
+  c_recent_has_dest : bool array;
+  mutable c_pos : int;
+  (* [c_pos mod (dep_cap + 1)]: the ring write cursor, kept incrementally
+     so the per-instruction path never pays an integer division *)
+  mutable c_ring : int;
+  mutable c_redirect_run : int;
+  mutable c_visits : int;
+  mutable c_phase : int;
+  mutable c_node : int;
+  mutable c_slot : int;
+  c_seed : int;
+}
+
+type stream = I of istream | C of cstream
+
+let derive_reduction = Kernel.Compile.derive_reduction
+
+let istream ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
   let total_instructions = max 1 p.instructions in
   let r = derive_reduction ?reduction ?target_length total_instructions in
   if r < 1 then invalid_arg "Generate.generate: reduction must be >= 1";
@@ -124,9 +156,44 @@ let stream ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
     stream_seed = seed;
   }
 
-let stream_reduction t = t.stream_reduction
-let stream_k t = t.stream_k
-let stream_seed t = t.stream_seed
+let stream_of_plan (plan : Kernel.Plan.t) ~seed =
+  let c_remaining = Array.copy plan.node_occ in
+  C
+    {
+      plan;
+      c_rng = Prng.create ~seed;
+      c_remaining;
+      start_tree = Kernel.Fenwick.create c_remaining;
+      c_live = Array.fold_left ( + ) 0 c_remaining;
+      c_recent_has_dest = Array.make (Profile.Sfg.dep_cap + 1) true;
+      c_pos = 0;
+      c_ring = 0;
+      c_redirect_run = 0;
+      c_visits = 0;
+      c_phase = ph_start;
+      c_node = -1;
+      c_slot = 0;
+      c_seed = seed;
+    }
+
+let stream ?(compile = true) ?reduction ?target_length
+    (p : Profile.Stat_profile.t) ~seed =
+  if compile then begin
+    let tel = Telemetry.start () in
+    let plan = Kernel.Compile.plan ?reduction ?target_length p in
+    Telemetry.stop span_compile tel;
+    stream_of_plan plan ~seed
+  end
+  else I (istream ?reduction ?target_length p ~seed)
+
+let stream_reduction = function
+  | I s -> s.stream_reduction
+  | C s -> s.plan.reduction
+
+let stream_k = function I s -> s.stream_k | C s -> s.plan.k
+let stream_seed = function I s -> s.stream_seed | C s -> s.c_seed
+
+(* --- interpreted walk --- *)
 
 let producer_has_dest t delta =
   let target = t.pos - delta in
@@ -254,45 +321,285 @@ let advance t rn =
     if succ.remaining > 0 then start_block t succ else restart t
   end
 
-let rec next t =
+let rec i_next t =
   match t.state with
   | Finished -> None
   | Start ->
     restart t;
-    next t
+    i_next t
   | After rn ->
     advance t rn;
-    next t
+    i_next t
   | Emitting (rn, i) ->
     let slots = rn.node.slots in
     if i >= Array.length slots then begin
       t.state <- After rn;
-      next t
+      i_next t
     end
     else begin
       t.state <- Emitting (rn, i + 1);
       Some (emit_slot t rn.node slots.(i))
     end
 
-let generate ?reduction ?target_length (p : Profile.Stat_profile.t) ~seed =
-  let tel = Telemetry.start () in
-  let s = stream ?reduction ?target_length p ~seed in
-  let out = ref [] in
-  let rec drain () =
-    match next s with
-    | Some i ->
-      out := i :: !out;
-      drain ()
-    | None -> ()
+(* --- compiled walk: the same nine steps against the plan's arrays --- *)
+
+let c_producer_has_dest t delta =
+  delta > t.c_pos
+  ||
+  let len = Array.length t.c_recent_has_dest in
+  if delta < len then
+    (* the common case — profiled distances never exceed dep_cap, so the
+       cursor-relative index stays within one wrap of the ring and a
+       conditional add replaces the division *)
+    let i = t.c_ring - delta in
+    Array.unsafe_get t.c_recent_has_dest (if i < 0 then i + len else i)
+  else t.c_recent_has_dest.((t.c_pos - delta) mod len)
+
+(* top-level so each dependency draw costs calls, not a fresh closure *)
+let rec c_try_draw t sampler n =
+  if n = 0 then begin
+    (* squash the dependency, per the paper *)
+    Telemetry.incr c_dep_squashed;
+    0
+  end
+  else
+    let delta = Stats.Alias.sample sampler t.c_rng in
+    if c_producer_has_dest t delta then delta else c_try_draw t sampler (n - 1)
+
+let c_sample_dep t sampler =
+  if Stats.Alias.is_empty sampler then 0
+  else begin
+    let delta = c_try_draw t sampler dep_retries in
+    Telemetry.observe h_dep_distance delta;
+    delta
+  end
+
+(* [c_emit] is the per-instruction floor of the compiled engine, so it
+   reads the plan with [unsafe_get]: every index is established by
+   construction — [ni] and [si] come from the walk over
+   [node_slot_off], and [Plan.of_string]/[Compile.plan] validate the
+   per-slot offsets against the array lengths they index. *)
+let c_emit t ni si =
+  let p = t.plan in
+  let rng = t.c_rng in
+  let sr thr =
+    thr > 0 && (thr >= Kernel.Plan.two32 || Prng.bits rng < thr)
   in
-  drain ();
-  let trace =
+  let meta = Array.unsafe_get p.Kernel.Plan.slot_meta si in
+  let d0 = Array.unsafe_get p.slot_dep_off si in
+  let nd = Kernel.Plan.meta_ndeps meta in
+  (* operand order, then waw/war when present — same order the
+     interpreted path draws in. The common arities build the array from
+     a literal: [Array.make] with a runtime length is an out-of-line
+     runtime call, and this allocation happens once per instruction.
+     The lets pin the draw order — array literals evaluate
+     right-to-left, which would flip it. *)
+  let deps =
+    if nd = 0 then [||]
+    else if nd = 1 then [| c_sample_dep t (Array.unsafe_get p.slot_deps d0) |]
+    else if nd = 2 then begin
+      let a = c_sample_dep t (Array.unsafe_get p.slot_deps d0) in
+      let b = c_sample_dep t (Array.unsafe_get p.slot_deps (d0 + 1)) in
+      [| a; b |]
+    end
+    else begin
+      let deps = Array.make nd 0 in
+      for j = 0 to nd - 1 do
+        Array.unsafe_set deps j
+          (c_sample_dep t (Array.unsafe_get p.slot_deps (d0 + j)))
+      done;
+      deps
+    end
+  in
+  let l1i = sr (Array.unsafe_get p.thr_l1i ni) in
+  let l2i = l1i && sr (Array.unsafe_get p.thr_l2i ni) in
+  let itlb = sr (Array.unsafe_get p.thr_itlb ni) in
+  let is_load = Kernel.Plan.meta_is_load meta in
+  let l1d = is_load && sr (Array.unsafe_get p.thr_l1d ni) in
+  let l2d = l1d && sr (Array.unsafe_get p.thr_l2d ni) in
+  let dtlb = is_load && sr (Array.unsafe_get p.thr_dtlb ni) in
+  let branch =
+    if not (Kernel.Plan.meta_is_branch meta) then None
+    else begin
+      let taken = sr (Array.unsafe_get p.thr_taken ni) in
+      let thr_misred = Array.unsafe_get p.thr_misred ni in
+      let mispredict, redirect =
+        (* one raw draw classifies the branch outcome, like the
+           interpreted path's single unit_float *)
+        if thr_misred <= 0 then (false, false)
+        else begin
+          let u = Prng.bits rng in
+          let mispredict = u < Array.unsafe_get p.thr_mis ni in
+          (mispredict, (not mispredict) && u < thr_misred)
+        end
+      in
+      Some { Trace.taken; mispredict; redirect }
+    end
+  in
+  let i =
     {
-      Trace.insts = Array.of_list (List.rev !out);
-      k = p.k;
-      reduction = s.stream_reduction;
-      seed;
+      Trace.klass = Kernel.Plan.meta_klass meta;
+      deps;
+      l1i_miss = l1i;
+      l2i_miss = l2i;
+      itlb_miss = itlb;
+      l1d_miss = l1d;
+      l2d_miss = l2d;
+      dtlb_miss = dtlb;
+      block = Array.unsafe_get p.node_block ni;
+      branch;
     }
   in
+  Array.unsafe_set t.c_recent_has_dest t.c_ring
+    (Kernel.Plan.meta_has_dest meta);
+  t.c_pos <- t.c_pos + 1;
+  t.c_ring <-
+    (let r = t.c_ring + 1 in
+     if r = Array.length t.c_recent_has_dest then 0 else r);
+  (* synth.instructions is charged by the caller: per pull in [c_next],
+     batched in the materializing fill loop *)
+  (match branch with
+  | Some b when b.Trace.redirect ->
+    Telemetry.observe h_redirect_run t.c_redirect_run;
+    t.c_redirect_run <- 0
+  | _ -> t.c_redirect_run <- t.c_redirect_run + 1);
+  i
+
+(* step 1 against the Fenwick tree over remaining counts: O(log n)
+   instead of the interpreted path's full rescan per restart *)
+let c_pick_start t =
+  let total = Kernel.Fenwick.total t.start_tree in
+  if total = 0 then None
+  else
+    let x = 1 + Prng.int t.c_rng total in
+    Some (Kernel.Fenwick.find t.start_tree x)
+
+let c_start_block t ni =
+  t.c_remaining.(ni) <- t.c_remaining.(ni) - 1;
+  Kernel.Fenwick.add t.start_tree ni (-1);
+  t.c_visits <- t.c_visits + 1;
+  t.c_phase <- ph_emitting;
+  t.c_node <- ni;
+  t.c_slot <- t.plan.node_slot_off.(ni)
+
+let c_restart t =
+  if t.c_visits >= t.c_live then t.c_phase <- ph_finished
+  else
+    match c_pick_start t with
+    | Some ni -> c_start_block t ni
+    | None -> t.c_phase <- ph_finished
+
+(* step 9 via the node's alias table over successor indices *)
+let c_advance t ni =
+  let edges = t.plan.edges.(ni) in
+  if (not t.plan.use_edges) || Stats.Alias.is_empty edges then c_restart t
+  else begin
+    let succ = Stats.Alias.sample edges t.c_rng in
+    if t.c_remaining.(succ) > 0 then c_start_block t succ else c_restart t
+  end
+
+let rec c_next t =
+  if t.c_phase = ph_emitting then begin
+    let ni = t.c_node in
+    let si = t.c_slot in
+    if si >= t.plan.node_slot_off.(ni + 1) then begin
+      t.c_phase <- ph_after;
+      c_next t
+    end
+    else begin
+      t.c_slot <- si + 1;
+      let inst = c_emit t ni si in
+      Telemetry.incr c_instructions;
+      Some inst
+    end
+  end
+  else if t.c_phase = ph_after then begin
+    c_advance t t.c_node;
+    c_next t
+  end
+  else if t.c_phase = ph_start then begin
+    c_restart t;
+    c_next t
+  end
+  else None
+
+let next = function I s -> i_next s | C s -> c_next s
+
+(* Instructions a compiled stream will still emit: slots of every
+   remaining visit plus the unemitted slots of the visit in flight.
+   Exact, so the materializer can fill a right-sized array. *)
+let c_expected t =
+  let p = t.plan in
+  let n = ref 0 in
+  Array.iteri
+    (fun ni rem ->
+      n := !n + (rem * (p.Kernel.Plan.node_slot_off.(ni + 1) - p.node_slot_off.(ni))))
+    t.c_remaining;
+  if t.c_phase = ph_emitting then
+    n := !n + (p.node_slot_off.(t.c_node + 1) - t.c_slot);
+  !n
+
+let drain s ~seed =
+  let insts =
+    match s with
+    | C t -> begin
+      (* the compiled walk's length is known up front; filling a
+         right-sized array skips the list accumulation below and its
+         rev + copy *)
+      let n = c_expected t in
+      match c_next t with
+      | None -> [||]
+      | Some first ->
+        (* drive the phase machine directly: per instruction this costs
+           one [c_emit] and an array write, with no option wrapper or
+           per-pull dispatch, and the instruction counter is settled
+           once at the end *)
+        let out = Array.make n first in
+        let i = ref 1 in
+        while t.c_phase <> ph_finished do
+          if t.c_phase = ph_emitting then begin
+            let ni = t.c_node in
+            let s1 = t.plan.node_slot_off.(ni + 1) in
+            let si = ref t.c_slot in
+            while !si < s1 do
+              (* in bounds because [c_expected] counts exactly the
+                 slots this loop will emit (asserted below) *)
+              Array.unsafe_set out !i (c_emit t ni !si);
+              incr i;
+              incr si
+            done;
+            t.c_slot <- s1;
+            t.c_phase <- ph_after
+          end
+          else c_advance t t.c_node
+        done;
+        assert (!i = n);
+        Telemetry.add c_instructions (n - 1);
+        out
+    end
+    | I _ ->
+      let out = ref [] in
+      let rec loop () =
+        match next s with
+        | Some i ->
+          out := i :: !out;
+          loop ()
+        | None -> ()
+      in
+      loop ();
+      Array.of_list (List.rev !out)
+  in
+  { Trace.insts; k = stream_k s; reduction = stream_reduction s; seed }
+
+let generate ?compile ?reduction ?target_length (p : Profile.Stat_profile.t)
+    ~seed =
+  let tel = Telemetry.start () in
+  let trace = drain (stream ?compile ?reduction ?target_length p ~seed) ~seed in
+  Telemetry.stop span_generate tel;
+  trace
+
+let generate_of_plan plan ~seed =
+  let tel = Telemetry.start () in
+  let trace = drain (stream_of_plan plan ~seed) ~seed in
   Telemetry.stop span_generate tel;
   trace

@@ -18,25 +18,42 @@
     register) is re-drawn up to 1,000 times, then dropped (each drop is
     counted on the [synth.dep_squashed] telemetry counter).
 
+    Two engines implement the walk. By default the profile is first
+    {e compiled} to a {!Kernel.Plan.t} — flat arrays, O(1) alias
+    samplers, fixed-point rate thresholds — and the walk executes the
+    plan; [~compile:false] selects the interpreted engine, which
+    samples the SFG's histograms directly. The engines make the same
+    draws in the same order from distributions equal up to the plan's
+    2^-32 fixed-point quantization, and both visit every surviving node
+    exactly [occurrences / R] times, so trace length and per-block mix
+    are identical; the walk order differs because the raw PRNG
+    trajectories do.
+
     The walk is exposed in two forms over the same sampling core:
     {!generate} materializes a {!Trace.t}, while {!stream}/{!next} pull
     instructions one at a time in constant memory — feeding the pipeline
     directly without the intermediate array. For equal arguments and
-    seed the two paths draw from the PRNG in the same order and
+    seed the two forms draw from the PRNG in the same order and
     therefore produce bit-identical instruction sequences. *)
 
 type stream
 (** An in-progress random walk: a single-consumer pull generator. *)
 
 val stream :
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Profile.Stat_profile.t ->
   seed:int ->
   stream
-(** Reduce the SFG and position the walk before its first block.
-    Argument handling is exactly {!generate}'s; raises
-    [Invalid_argument] under the same conditions. *)
+(** Reduce the SFG (compiling it to a plan unless [~compile:false]) and
+    position the walk before its first block. Argument handling is
+    exactly {!generate}'s; raises [Invalid_argument] under the same
+    conditions. *)
+
+val stream_of_plan : Kernel.Plan.t -> seed:int -> stream
+(** A walk over an already-compiled plan, skipping compilation — the
+    entry point for cached plans and for replicas sharing one plan. *)
 
 val next : stream -> Trace.inst option
 (** The walk's next instruction, or [None] once every reduced
@@ -52,6 +69,7 @@ val stream_k : stream -> int
 val stream_seed : stream -> int
 
 val generate :
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Profile.Stat_profile.t ->
@@ -64,3 +82,6 @@ val generate :
     floored R could exceed it by a whole reduction bucket on short
     profiles). Raises [Invalid_argument] if the reduced graph is
     empty. *)
+
+val generate_of_plan : Kernel.Plan.t -> seed:int -> Trace.t
+(** Materialize a trace from an already-compiled plan. *)

@@ -40,6 +40,7 @@ val split_seeds : master_seed:int -> n:int -> int array
 val run :
   ?jobs:int ->
   ?stream:bool ->
+  ?compile:bool ->
   ?wrong_path_locality:bool ->
   ?reduction:int ->
   ?target_length:int ->
@@ -50,12 +51,16 @@ val run :
   t
 (** Simulate [replicas] independent seeds and aggregate. [stream]
     selects the constant-memory {!Run.run_stream} path (default
-    materializes each trace). [jobs] only distributes the work; it
-    never changes the result. *)
+    materializes each trace). With [compile] (the default) the profile
+    is lowered to a {!Kernel.Plan.t} once and shared — immutably, so
+    domain-safe — by all replicas; [~compile:false] interprets the SFG
+    directly. [jobs] only distributes the work; it never changes the
+    result. *)
 
 val run_ci :
   ?jobs:int ->
   ?stream:bool ->
+  ?compile:bool ->
   ?wrong_path_locality:bool ->
   ?reduction:int ->
   ?target_length:int ->

@@ -8,20 +8,30 @@ let span_simulate = Telemetry.span "synth.simulate"
 let span_stream = Telemetry.span "synth.simulate_stream"
 let c_instructions = Telemetry.counter "synth.simulated_instructions"
 
-let run ?wrong_path_locality cfg trace =
+let run ?wrong_path_locality ?skip_idle cfg trace =
   Telemetry.time span_simulate (fun () ->
-      let m = P.run cfg (Synth_feed.create ?wrong_path_locality cfg trace) in
+      let m =
+        P.run ?skip_idle cfg
+          (Synth_feed.create ?wrong_path_locality cfg trace)
+      in
       Telemetry.add c_instructions m.Uarch.Metrics.committed;
       m)
 
-let run_stream ?wrong_path_locality ?window ?reduction ?target_length cfg p
-    ~seed =
+let run_of_stream ?wrong_path_locality ?window cfg s =
   Telemetry.time span_stream (fun () ->
-      let s = Generate.stream ?reduction ?target_length p ~seed in
       let feed = Stream_feed.of_stream ?wrong_path_locality ?window cfg s in
       let m = P_stream.run cfg feed in
       Telemetry.add c_instructions m.Uarch.Metrics.committed;
       m)
+
+let run_stream ?wrong_path_locality ?window ?compile ?reduction ?target_length
+    cfg p ~seed =
+  run_of_stream ?wrong_path_locality ?window cfg
+    (Generate.stream ?compile ?reduction ?target_length p ~seed)
+
+let run_stream_of_plan ?wrong_path_locality ?window cfg plan ~seed =
+  run_of_stream ?wrong_path_locality ?window cfg
+    (Generate.stream_of_plan plan ~seed)
 
 let run_many cfg traces = List.map (run cfg) traces
 

@@ -2,11 +2,19 @@
     core (Figure 1, step 3). *)
 
 val run :
-  ?wrong_path_locality:bool -> Config.Machine.t -> Trace.t -> Uarch.Metrics.t
+  ?wrong_path_locality:bool ->
+  ?skip_idle:bool ->
+  Config.Machine.t ->
+  Trace.t ->
+  Uarch.Metrics.t
+(** [skip_idle] is forwarded to {!Uarch.Pipeline.Make.run} (default
+    [true], the event-driven loop); [~skip_idle:false] forces the dense
+    cycle-by-cycle loop, for equivalence testing. *)
 
 val run_stream :
   ?wrong_path_locality:bool ->
   ?window:int ->
+  ?compile:bool ->
   ?reduction:int ->
   ?target_length:int ->
   Config.Machine.t ->
@@ -17,7 +25,19 @@ val run_stream :
     instructions straight into the pipeline through {!Stream_feed},
     in memory proportional to the feed window rather than the trace
     length. Bit-identical to
-    [run cfg (Generate.generate ... ~seed)] for equal arguments. *)
+    [run cfg (Generate.generate ... ~seed)] for equal arguments
+    (including [compile], which selects the engine exactly as in
+    {!Generate.stream}). *)
+
+val run_stream_of_plan :
+  ?wrong_path_locality:bool ->
+  ?window:int ->
+  Config.Machine.t ->
+  Kernel.Plan.t ->
+  seed:int ->
+  Uarch.Metrics.t
+(** {!run_stream} over an already-compiled plan, skipping compilation —
+    for cached plans and replicas sharing one plan. *)
 
 val run_many : Config.Machine.t -> Trace.t list -> Uarch.Metrics.t list
 

@@ -73,6 +73,14 @@ module Make (F : Feed.S) = struct
     mutable stall_squash : int;
     mutable stall_frontend : int;
     mutable stall_cycles : int;
+    (* event-driven bookkeeping: cheap bounds that tell the run loop
+       when nothing can happen so it may jump to the next event *)
+    mutable ready_count : int;  (* slots in [Ready] *)
+    mutable exec_min : int;
+        (* lower bound on the earliest [complete_at] among [Exec]
+           slots; recomputed exactly by each writeback scan, min-updated
+           at issue, left stale-low after a squash (a too-early wake is
+           harmless — the loop just finds nothing to do and skips on) *)
   }
 
   let create cfg feed =
@@ -117,6 +125,8 @@ module Make (F : Feed.S) = struct
       stall_squash = 0;
       stall_frontend = 0;
       stall_cycles = 0;
+      ready_count = 0;
+      exec_min = max_int;
     }
 
   let nth m k = m.ruu.((m.head + k) mod Array.length m.ruu)
@@ -127,6 +137,7 @@ module Make (F : Feed.S) = struct
     (match m.ruu.(idx) with
     | Some s ->
       s.valid <- false;
+      if s.st = Ready then m.ready_count <- m.ready_count - 1;
       Hashtbl.remove m.table s.f.seq;
       if s.uses_lsq then m.lsq <- m.lsq - 1
     | None -> ());
@@ -191,27 +202,36 @@ module Make (F : Feed.S) = struct
       | Some _ | None -> blocked := true
     done
 
-  let wake s =
+  let wake m s =
     List.iter
       (fun w ->
         if w.valid then begin
           w.pending <- w.pending - 1;
-          if w.pending = 0 && w.st = Wait then w.st <- Ready
+          if w.pending = 0 && w.st = Wait then begin
+            w.st <- Ready;
+            m.ready_count <- m.ready_count + 1
+          end
         end)
       s.waiters;
     s.waiters <- []
 
   let writeback_stage m =
     let to_squash = ref (-1) in
+    let next_complete = ref max_int in
     for k = 0 to m.count - 1 do
       match nth m k with
       | Some s when s.st = Exec && s.complete_at <= m.cycle ->
         s.st <- Done;
         m.act.completed <- m.act.completed + 1;
-        wake s;
+        wake m s;
         if s.f.seq = m.pending_mispredict then to_squash := s.f.seq
+      | Some s when s.st = Exec ->
+        if s.complete_at < !next_complete then next_complete := s.complete_at
       | Some _ | None -> ()
     done;
+    (* exact after every scan; the squash below can only remove Exec
+       slots, leaving the bound stale-low, which is safe *)
+    m.exec_min <- !next_complete;
     if !to_squash >= 0 then squash m ~seq:!to_squash
 
   let issue_stage m =
@@ -240,6 +260,8 @@ module Make (F : Feed.S) = struct
           in
           s.st <- Exec;
           s.complete_at <- m.cycle + latency;
+          m.ready_count <- m.ready_count - 1;
+          if s.complete_at < m.exec_min then m.exec_min <- s.complete_at;
           m.fu_used.(pool) <- m.fu_used.(pool) + 1;
           m.act.issued <- m.act.issued + 1;
           (match s.f.klass with
@@ -298,7 +320,10 @@ module Make (F : Feed.S) = struct
                 s.pending <- s.pending + 1
               | Some _ | None -> ())
           f.producers;
-        if s.pending = 0 then s.st <- Ready;
+        if s.pending = 0 then begin
+          s.st <- Ready;
+          m.ready_count <- m.ready_count + 1
+        end;
         m.ruu.((m.head + m.count) mod cap) <- Some s;
         m.count <- m.count + 1;
         Hashtbl.replace m.table f.seq s;
@@ -410,7 +435,88 @@ module Make (F : Feed.S) = struct
       dispatch_stall_cycles = m.stall_cycles;
     }
 
-  let run ?(max_instructions = max_int) ?commit_hook cfg feed =
+  (* --- event-driven idle skipping ---
+
+     A cycle where no stage can make progress is fully characterized by
+     machine state: nothing to commit (head not Done), nothing to
+     complete (earliest completion beyond now), nothing to issue (no
+     Ready slot), dispatch blocked (window full, empty IFQ, or an IFQ
+     head waiting on the LSQ), and the fetch engine stalled or out of
+     input. Such a cycle changes nothing but per-cycle accounting, and
+     every condition above is frozen until one of three external
+     events: the earliest in-flight completion, the fetch-stall expiry,
+     or the watchdog trip point. [idle_until] returns that next event
+     cycle when the machine is provably idle. *)
+  let idle_until m =
+    let head_committable =
+      m.count > 0
+      && match m.ruu.(m.head) with Some s -> s.st = Done | None -> false
+    in
+    if head_committable || m.ready_count > 0 || m.exec_min <= m.cycle then None
+    else begin
+      let dispatch_blocked =
+        m.count >= Array.length m.ruu
+        || Queue.is_empty m.ifq
+        ||
+        let f, _ = Queue.peek m.ifq in
+        Isa.Iclass.is_mem f.Feed.klass && m.lsq >= m.cfg.lsq_size
+      in
+      if not dispatch_blocked then None
+      else begin
+        let fetch_wake =
+          if m.stream_done || Queue.length m.ifq >= m.cfg.ifq_size then max_int
+          else m.fetch_stall_until
+        in
+        if fetch_wake <= m.cycle then None
+        else
+          (* never jump past where the watchdog would have fired *)
+          let trip = m.last_commit_cycle + watchdog_cycles + 1 in
+          Some (min (min m.exec_min fetch_wake) trip)
+      end
+    end
+
+  (* Charge [k] skipped cycles exactly as the dense loop would have:
+     occupancy sums and histograms at the frozen values, and the
+     zero-dispatch stall attributed to the same single cause
+     [account_dispatch_stall] would pick every one of those cycles. *)
+  let advance_idle m k =
+    m.act.cycles <- m.act.cycles + k;
+    m.act.ruu_occupancy_sum <- m.act.ruu_occupancy_sum + (k * m.count);
+    m.act.lsq_occupancy_sum <- m.act.lsq_occupancy_sum + (k * m.lsq);
+    m.act.ifq_occupancy_sum <-
+      m.act.ifq_occupancy_sum + (k * Queue.length m.ifq);
+    Telemetry.observe_many h_ruu_occ m.count k;
+    Telemetry.observe_many h_lsq_occ m.lsq k;
+    Telemetry.observe_many h_ifq_occ (Queue.length m.ifq) k;
+    m.stall_cycles <- m.stall_cycles + k;
+    if m.count >= Array.length m.ruu then m.stall_ruu <- m.stall_ruu + k
+    else if
+      (not (Queue.is_empty m.ifq))
+      && (let f, _ = Queue.peek m.ifq in
+          Isa.Iclass.is_mem f.Feed.klass)
+      && m.lsq >= m.cfg.lsq_size
+    then m.stall_lsq <- m.stall_lsq + k
+    else if m.stream_done then m.stall_frontend <- m.stall_frontend + k
+    else begin
+      match m.fetch_stall_reason with
+      | Fs_redirect -> m.stall_redirect <- m.stall_redirect + k
+      | Fs_icache -> m.stall_icache <- m.stall_icache + k
+      | Fs_squash -> m.stall_squash <- m.stall_squash + k
+      | Fs_none -> m.stall_frontend <- m.stall_frontend + k
+    end;
+    m.cycle <- m.cycle + k
+
+  let check_watchdog m =
+    if m.cycle - m.last_commit_cycle > watchdog_cycles then
+      failwith
+        (Printf.sprintf
+           "Pipeline: no commit for %d cycles (cycle=%d committed=%d \
+            ruu=%d ifq=%d pos=%d) — model bug"
+           watchdog_cycles m.cycle m.act.committed m.count
+           (Queue.length m.ifq) m.next_pos)
+
+  let run ?(max_instructions = max_int) ?(skip_idle = true) ?commit_hook cfg
+      feed =
     let m = create cfg feed in
     let finished () =
       m.act.committed >= max_instructions
@@ -432,13 +538,14 @@ module Make (F : Feed.S) = struct
       Telemetry.observe h_lsq_occ m.lsq;
       Telemetry.observe h_ifq_occ (Queue.length m.ifq);
       m.cycle <- m.cycle + 1;
-      if m.cycle - m.last_commit_cycle > watchdog_cycles then
-        failwith
-          (Printf.sprintf
-             "Pipeline: no commit for %d cycles (cycle=%d committed=%d \
-              ruu=%d ifq=%d pos=%d) — model bug"
-             watchdog_cycles m.cycle m.act.committed m.count
-             (Queue.length m.ifq) m.next_pos)
+      check_watchdog m;
+      if skip_idle && not (finished ()) then begin
+        match idle_until m with
+        | Some target ->
+          advance_idle m (target - m.cycle);
+          check_watchdog m
+        | None -> ()
+      end
     done;
     metrics m
 end

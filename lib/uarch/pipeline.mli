@@ -16,6 +16,7 @@
 module Make (F : Feed.S) : sig
   val run :
     ?max_instructions:int ->
+    ?skip_idle:bool ->
     ?commit_hook:(committed:int -> cycle:int -> unit) ->
     Config.Machine.t ->
     F.t ->
@@ -24,5 +25,13 @@ module Make (F : Feed.S) : sig
       [Failure] if the machine stops committing for an implausibly long
       time (a model bug, not a workload property). [commit_hook] fires
       after every committed instruction with the running totals — used
-      to carve per-interval statistics out of one warm run. *)
+      to carve per-interval statistics out of one warm run.
+
+      [skip_idle] (default [true]) makes the run loop event-driven:
+      cycles in which no stage can make progress — long cache-miss
+      shadows, fetch-redirect and squash-recovery windows — are charged
+      to the cycle, occupancy and stall accounting in bulk and skipped,
+      jumping to the next completion or fetch wake-up. The resulting
+      metrics are identical to the dense loop's (a tested invariant);
+      pass [~skip_idle:false] to force the cycle-by-cycle loop. *)
 end

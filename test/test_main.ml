@@ -16,6 +16,7 @@ let () =
       ("dot", Test_dot.suite);
       ("profile", Test_profile.suite);
       ("synth", Test_synth.suite);
+      ("kernel", Test_kernel.suite);
       ("replicate", Test_replicate.suite);
       ("hls", Test_hls.suite);
       ("analytical", Test_analytical.suite);

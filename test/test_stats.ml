@@ -191,6 +191,93 @@ let test_histogram_percentile_merge () =
   Alcotest.(check int) "p50 of pooled" 2 (Stats.Histogram.percentile a 0.5);
   Alcotest.(check int) "p90 of pooled" 7 (Stats.Histogram.percentile a 0.9)
 
+(* --- alias sampler --- *)
+
+let test_alias_single_bucket () =
+  let t = Stats.Alias.of_weights ~values:[| 7 |] ~weights:[| 3 |] in
+  Alcotest.(check int) "length" 1 (Stats.Alias.length t);
+  Alcotest.(check int) "total" 3 (Stats.Alias.total t);
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 5 do
+    Alcotest.(check int) "deterministic value" 7 (Stats.Alias.sample t rng)
+  done;
+  (* single-bucket draws must consume no randomness *)
+  let fresh = Prng.create ~seed:5 in
+  check "no randomness consumed" true (Prng.bits rng = Prng.bits fresh)
+
+let test_alias_zero_weight () =
+  let t =
+    Stats.Alias.of_weights ~values:[| 1; 2; 3 |] ~weights:[| 0; 5; 0 |]
+  in
+  Alcotest.(check int) "zero-weight entries dropped" 1 (Stats.Alias.length t);
+  let rng = Prng.create ~seed:9 in
+  Alcotest.(check int) "only surviving value" 2 (Stats.Alias.sample t rng);
+  let e = Stats.Alias.of_weights ~values:[| 4; 5 |] ~weights:[| 0; 0 |] in
+  check "all-zero is empty" true (Stats.Alias.is_empty e);
+  Alcotest.check_raises "empty sample raises"
+    (Invalid_argument "Alias.sample: empty table") (fun () ->
+      ignore (Stats.Alias.sample e rng))
+
+let test_alias_of_arrays_roundtrip () =
+  let t =
+    Stats.Alias.of_weights ~values:[| 3; 1; 4; 1; 5 |]
+      ~weights:[| 9; 2; 6; 5; 3 |]
+  in
+  let values, alias, thr, total = Stats.Alias.to_arrays t in
+  let t' = Stats.Alias.of_arrays ~values ~alias ~thr ~total in
+  let a = Prng.create ~seed:11 and b = Prng.create ~seed:11 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "bit-identical draw" (Stats.Alias.sample t a)
+      (Stats.Alias.sample t' b)
+  done
+
+let prop_alias_matches_distribution =
+  QCheck.Test.make ~name:"alias frequencies match the source weights"
+    ~count:50
+    QCheck.(
+      pair small_int (list_of_size Gen.(1 -- 8) (int_range 1 50)))
+    (fun (seed, weights) ->
+      let values = Array.init (List.length weights) (fun i -> 10 * i) in
+      let weights = Array.of_list weights in
+      let t = Stats.Alias.of_weights ~values ~weights in
+      let total = float_of_int (Array.fold_left ( + ) 0 weights) in
+      let n = 2_000 in
+      let counts = Hashtbl.create 8 in
+      let rng = Prng.create ~seed in
+      for _ = 1 to n do
+        let v = Stats.Alias.sample t rng in
+        Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      done;
+      (* each empirical frequency within 0.05 of its probability: >4
+         sigma at this sample size, so effectively never flaky *)
+      Array.for_all
+        (fun i ->
+          let p = float_of_int weights.(i) /. total in
+          let obs =
+            float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts values.(i)))
+            /. float_of_int n
+          in
+          Float.abs (obs -. p) < 0.05)
+        (Array.init (Array.length values) (fun i -> i)))
+
+let test_alias_of_histogram () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.add_many h 2 30;
+  Stats.Histogram.add_many h 8 70;
+  let t = Stats.Alias.of_histogram h in
+  Alcotest.(check int) "total carried over" 100 (Stats.Alias.total t);
+  let rng = Prng.create ~seed:21 in
+  let eights = ref 0 in
+  let n = 5_000 in
+  for _ = 1 to n do
+    match Stats.Alias.sample t rng with
+    | 8 -> incr eights
+    | 2 -> ()
+    | v -> Alcotest.failf "sampled out of support: %d" v
+  done;
+  let rate = float_of_int !eights /. float_of_int n in
+  check "proportional" true (Float.abs (rate -. 0.7) < 0.03)
+
 let suite =
   [
     Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
@@ -215,4 +302,10 @@ let suite =
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "histogram percentile after merge" `Quick
       test_histogram_percentile_merge;
+    Alcotest.test_case "alias single bucket" `Quick test_alias_single_bucket;
+    Alcotest.test_case "alias zero weights" `Quick test_alias_zero_weight;
+    Alcotest.test_case "alias of_arrays roundtrip" `Quick
+      test_alias_of_arrays_roundtrip;
+    QCheck_alcotest.to_alcotest prop_alias_matches_distribution;
+    Alcotest.test_case "alias of_histogram" `Quick test_alias_of_histogram;
   ]

@@ -240,7 +240,7 @@ let test_pipeline_stage_spans () =
           Alcotest.(check bool)
             (name ^ " fired") true
             (calls snap name > calls snap0 name))
-        [ "profile.collect"; "synth.reduce"; "synth.generate";
+        [ "profile.collect"; "synth.compile"; "synth.generate";
           "synth.simulate" ])
 
 (* --- JSON renders --- *)
