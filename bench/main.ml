@@ -292,6 +292,60 @@ let run_kernel () =
           ] );
     ]
 
+(* --- design-space exploration sweep: the amortization win --- *)
+
+(* filled by [run_dse]; lands under the summary's "dse" key *)
+let dse_results : (string * Telemetry.Json.t) list ref = ref []
+
+let run_dse () =
+  Format.fprintf ppf "== design-space exploration sweep ==@.";
+  let scale = Experiments.Exp_common.scale in
+  let sweep =
+    Dse.Sweep.make ~name:"bench64"
+      (Dse.Sweep.cross
+         [
+           Dse.Sweep.axis "ruu" [ 16; 32; 64; 128 ];
+           Dse.Sweep.axis "lsq" [ 8; 16; 32; 64 ];
+           Dse.Sweep.axis "width" [ 2; 4; 6; 8 ];
+         ])
+  in
+  (* a fresh cache so the reported compute counts are the sweep's own,
+     not inherited from experiments that ran earlier in the invocation *)
+  let cache = Runner.Cache.create () in
+  let jobs = Runner.Pool.default_jobs () in
+  let t0 = Unix.gettimeofday () in
+  match
+    Dse.Driver.run ~cache ~jobs
+      ~length:(int_of_float (120_000.0 *. scale))
+      ~target_length:(int_of_float (20_000.0 *. scale))
+      ~sweep
+      ~bench:(Workload.Suite.find "gcc")
+      ~seed:42 ()
+  with
+  | Error msg -> Format.fprintf ppf "  sweep failed: %s@.@." msg
+  | Ok r ->
+    let dt = Unix.gettimeofday () -. t0 in
+    let st = Runner.Cache.stats cache in
+    let npoints = Array.length r.Dse.Driver.points in
+    let pps = if dt > 0.0 then float_of_int npoints /. dt else 0.0 in
+    Format.fprintf ppf
+      "  %d points in %.2fs (%.1f points/sec)  frontier %d  profile \
+       collections %d  plan compilations %d@.@."
+      npoints dt pps r.Dse.Driver.frontier_count st.profile_computes
+      st.plan_computes;
+    let open Telemetry.Json in
+    dse_results :=
+      [
+        ("seconds", Num dt);
+        ("points", Num (float_of_int npoints));
+        ("points_per_sec", Num pps);
+        ("replicas", Num (float_of_int r.Dse.Driver.replicas));
+        ("frontier", Num (float_of_int r.Dse.Driver.frontier_count));
+        ("profile_collections", Num (float_of_int st.profile_computes));
+        ("plan_compilations", Num (float_of_int st.plan_computes));
+        ("store_hits", Num (float_of_int st.store_hits));
+      ]
+
 (* --- driver --- *)
 
 (* one ctx for the whole invocation: the memo cache shares EDS
@@ -311,7 +365,10 @@ let usage () =
   Format.fprintf ppf "  %-8s %s@." "streaming"
     "streamed vs materialized synthetic simulation (time and memory)";
   Format.fprintf ppf "  %-8s %s@." "kernel"
-    "compiled plan vs interpreted walk, event-driven vs dense pipeline"
+    "compiled plan vs interpreted walk, event-driven vs dense pipeline";
+  (* "dse" is taken by the paper's DSE case-study experiment above *)
+  Format.fprintf ppf "  %-8s %s@." "sweep"
+    "64-point design-space sweep: one profile + one plan, points/sec"
 
 let run_one id =
   match Experiments.Registry.find id with
@@ -326,6 +383,7 @@ let run_one id =
     if id = "micro" then run_micro ()
     else if id = "streaming" then run_streaming ()
     else if id = "kernel" then run_kernel ()
+    else if id = "sweep" then run_dse ()
     else begin
       Format.fprintf ppf "unknown experiment %S@." id;
       usage ();
@@ -391,6 +449,9 @@ let summary_json ts =
       (* compiled-kernel throughput comparison; empty unless the
          "kernel" bench ran this invocation *)
       ("kernel", Obj !kernel_results);
+      (* design-space sweep throughput and amortization counters; empty
+         unless the "dse" bench ran this invocation *)
+      ("dse", Obj !dse_results);
       (* distribution instruments (dependency distances, redirect run
          lengths, pipeline occupancies): totals and means only — the
          full bucket vectors live in the telemetry snapshot *)
@@ -433,9 +494,11 @@ let summary_json ts =
     ]
 
 let write_summary ~out =
-  match (List.rev !timings, !streaming_results, !kernel_results) with
-  | [], [], [] -> ()
-  | ts, _, _ ->
+  match
+    (List.rev !timings, !streaming_results, !kernel_results, !dse_results)
+  with
+  | [], [], [], [] -> ()
+  | ts, _, _, _ ->
     let oc = open_out out in
     output_string oc (Telemetry.Json.to_string (summary_json ts));
     output_char oc '\n';
@@ -483,6 +546,7 @@ let () =
       Experiments.Registry.all;
     run_micro ();
     run_streaming ();
-    run_kernel ()
+    run_kernel ();
+    run_dse ()
   | ids -> List.iter run_one ids);
   write_summary ~out

@@ -6,15 +6,22 @@
        [--baseline bench/baseline.json] [--current BENCH_summary.json] \
        [--threshold 1.0]
 
+   The verdict logic lives in lib/gate (unit-tested); this executable
+   parses arguments, reads the two documents and prints the table.
+
    Gated metrics:
-     - per-stage seconds (profile / generate / simulate stages): fail when
-       the current run is slower than baseline * (1 + threshold), with
-       a small absolute slack so near-zero timings at tiny REPRO_SCALE
-       cannot trip the relative test;
-     - memo-cache hit/miss counts: deterministic for a fixed
-       experiment selection, so a drift beyond the threshold in either
-       direction signals a behavioral change (fewer shared profiles,
-       changed cache keys) and fails the gate.
+     - per-stage seconds (profile / generate / simulate stages / DSE
+       sweep): fail when the current run is slower than
+       baseline * (1 + threshold), with a small absolute slack so
+       near-zero timings at tiny REPRO_SCALE cannot trip the relative
+       test;
+     - memo-cache hit/miss counts and the DSE driver's profile/plan
+       compute counts: deterministic for a fixed experiment selection,
+       so a drift beyond the threshold in either direction signals a
+       behavioral change and fails the gate;
+     - whole summary sections: a section the baseline has numbers for
+       but the fresh summary leaves empty is a named failure (the
+       bench selection stopped running it), never a silent skip.
 
    Timings are compared at a generous threshold (default +100%) because
    CI machines vary; the gate exists to catch order-of-magnitude
@@ -36,115 +43,6 @@ let read_json path =
   match Telemetry.Json.of_string contents with
   | Ok v -> v
   | Error msg -> die "perf_gate: %s: %s" path msg
-
-let num_field json path =
-  let rec go json = function
-    | [] -> Telemetry.Json.to_num json
-    | k :: rest -> (
-      match Telemetry.Json.member k json with
-      | Some v -> go v rest
-      | None -> None)
-  in
-  go json path
-
-(* one gated metric: seconds regress only when slower; counts drift in
-   either direction *)
-type check = {
-  label : string;
-  path : string list;
-  both_directions : bool;
-  abs_slack : float;
-}
-
-let stage_names =
-  [ "profile"; "generate"; "simulate_synthetic"; "simulate_eds" ]
-
-let checks =
-  List.map
-    (fun stage ->
-      {
-        label = "stage." ^ stage ^ ".seconds";
-        path = [ "stages"; stage; "seconds" ];
-        both_directions = false;
-        abs_slack = 0.05;
-      })
-    stage_names
-  @ List.map
-      (fun field ->
-        {
-          label = "cache." ^ field;
-          path = [ "cache"; field ];
-          both_directions = true;
-          abs_slack = 1.0;
-        })
-      [
-        "profile_hits";
-        "profile_misses";
-        "reference_hits";
-        "reference_misses";
-        "plan_hits";
-        "plan_misses";
-      ]
-  (* the CI bench run has no REPRO_CACHE_DIR, so these must stay 0 —
-     a nonzero value means the gate run accidentally used a store *)
-  @ List.map
-      (fun field ->
-        {
-          label = "store." ^ field;
-          path = [ "store"; field ];
-          both_directions = true;
-          abs_slack = 0.5;
-        })
-      [ "hits"; "misses"; "bytes_written"; "quarantined" ]
-  (* streamed-vs-materialized bench: gate the timings like any stage
-     (informational until the baseline is regenerated with them) *)
-  @ List.map
-      (fun path_kind ->
-        {
-          label = "streaming." ^ path_kind ^ ".seconds";
-          path = [ "streaming"; path_kind; "seconds" ];
-          both_directions = false;
-          abs_slack = 0.05;
-        })
-      [ "streamed"; "materialized" ]
-  (* compiled-kernel bench: plan compilation and both engines' wall
-     times, gated one-directionally like every timing *)
-  @ List.map
-      (fun (label, path) ->
-        { label; path; both_directions = false; abs_slack = 0.05 })
-      [
-        ("kernel.compile_seconds", [ "kernel"; "compile_seconds" ]);
-        ( "kernel.generate.interpreted.seconds",
-          [ "kernel"; "generate"; "interpreted"; "seconds" ] );
-        ( "kernel.generate.compiled.seconds",
-          [ "kernel"; "generate"; "compiled"; "seconds" ] );
-        ( "kernel.pipeline.dense.seconds",
-          [ "kernel"; "pipeline"; "dense"; "seconds" ] );
-        ( "kernel.pipeline.event_driven.seconds",
-          [ "kernel"; "pipeline"; "event_driven"; "seconds" ] );
-      ]
-
-type verdict = Ok_ | Regressed | Missing | New
-
-let evaluate ~threshold ~baseline ~current check =
-  match (num_field baseline check.path, num_field current check.path) with
-  (* a metric the baseline predates (new summary sections land before
-     the baseline is regenerated) is informational, not a failure; a
-     metric missing from the *current* run still fails — the harness
-     stopped producing it *)
-  | None, _ -> (check, nan, nan, New)
-  | Some b, None -> (check, b, nan, Missing)
-  | Some b, Some c ->
-    let delta = c -. b in
-    let over_rel =
-      if check.both_directions then Float.abs delta > threshold *. Float.abs b
-      else delta > threshold *. Float.abs b
-    in
-    let over_abs = Float.abs delta > check.abs_slack in
-    ( check,
-      b,
-      c,
-      if over_rel && over_abs then Regressed else Ok_ )
 
 let () =
   let baseline_file = ref "bench/baseline.json" in
@@ -169,7 +67,9 @@ let () =
   let baseline = read_json !baseline_file in
   let current = read_json !current_file in
   let results =
-    List.map (evaluate ~threshold:!threshold ~baseline ~current) checks
+    List.map
+      (Gate.evaluate ~threshold:!threshold ~baseline ~current)
+      Gate.default_checks
   in
   Printf.printf "perf gate: %s vs baseline %s (threshold +%.0f%%)\n"
     !current_file !baseline_file (100.0 *. !threshold);
@@ -189,22 +89,30 @@ let () =
           Printf.sprintf "%+.0f%%" (100.0 *. (c -. b) /. Float.abs b)
         else Printf.sprintf "%+.3f" (c -. b)
       in
+      if Gate.failed verdict then incr failures;
       let status =
         match verdict with
-        | Ok_ -> "ok"
-        | Regressed ->
-          incr failures;
-          "REGRESSED"
-        | Missing ->
-          incr failures;
-          "MISSING"
-        | New -> "new (no baseline)"
+        | Gate.Pass -> "ok"
+        | Gate.Regressed -> "REGRESSED"
+        | Gate.Missing -> "MISSING"
+        | Gate.New -> "new (no baseline)"
       in
-      Printf.printf "  %-34s %12s %12s %9s  %s\n" check.label (fmt b) (fmt c)
-        delta status)
+      Printf.printf "  %-34s %12s %12s %9s  %s\n" check.Gate.label (fmt b)
+        (fmt c) delta status)
     results;
+  (* sections the baseline gates but the fresh summary left empty: a
+     bench selection that silently stopped running a whole benchmark
+     must fail by name, not pass by omission *)
+  let empty_sections = Gate.missing_sections ~baseline ~current in
+  List.iter
+    (fun name ->
+      incr failures;
+      Printf.printf "  %-34s %12s %12s %9s  %s\n" ("section." ^ name)
+        "(object)" "-" "-" "MISSING")
+    empty_sections;
   (match
-     (num_field baseline [ "total_seconds" ], num_field current [ "total_seconds" ])
+     (Gate.num_field baseline [ "total_seconds" ],
+      Gate.num_field current [ "total_seconds" ])
    with
   | Some b, Some c ->
     Printf.printf "  (total_seconds %.3f -> %.3f, informational)\n" b c
@@ -212,13 +120,21 @@ let () =
   (* informational: compiled-over-interpreted throughput ratios from the
      current run — speed is what the kernel exists for, but a ratio on a
      shared CI machine is too noisy to gate on *)
-  (match num_field current [ "kernel"; "generate"; "speedup" ] with
+  (match Gate.num_field current [ "kernel"; "generate"; "speedup" ] with
   | Some s ->
-    Printf.printf "  (kernel generate speedup %.2fx compiled/interpreted, informational)\n" s
+    Printf.printf
+      "  (kernel generate speedup %.2fx compiled/interpreted, informational)\n"
+      s
   | None -> ());
-  (match num_field current [ "kernel"; "pipeline"; "speedup" ] with
+  (match Gate.num_field current [ "kernel"; "pipeline"; "speedup" ] with
   | Some s ->
-    Printf.printf "  (kernel pipeline speedup %.2fx event-driven/dense, informational)\n" s
+    Printf.printf
+      "  (kernel pipeline speedup %.2fx event-driven/dense, informational)\n" s
+  | None -> ());
+  (* informational until a baseline with a dse section lands *)
+  (match Gate.num_field current [ "dse"; "points_per_sec" ] with
+  | Some s ->
+    Printf.printf "  (dse sweep throughput %.1f points/sec, informational)\n" s
   | None -> ());
   if !failures > 0 then begin
     Printf.printf "FAIL: %d metric(s) regressed or missing\n" !failures;

@@ -5,6 +5,7 @@
      profile     print statistical-profile facts (SFG size, MPKI, ...)
      diag        profile-vs-synthetic-trace divergence diagnostics
      experiment  regenerate one of the paper's tables/figures
+     dse         design-space sweep with a CI-aware Pareto frontier report
      list        list workloads and experiments *)
 
 open Cmdliner
@@ -479,6 +480,94 @@ let experiment_cmd =
       const run $ ids_arg $ format_arg $ jobs_arg $ telemetry_arg
       $ cache_dir_arg $ trace_out_arg $ diag_arg $ exp_replicas_arg)
 
+(* --- design-space exploration: statsim dse --- *)
+
+let dse_cmd =
+  let run sweep_file bench length syn seed replicas jobs format telemetry
+      cache_dir max_points pareto_out =
+    if telemetry then Telemetry.set_enabled true;
+    let sweep =
+      match Dse.Sweep.load_file sweep_file with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    let spec = spec_of_name bench in
+    (* same ctx as `experiment`: the sweep's one profile and one plan go
+       through the shared memo cache and, with --cache-dir, the
+       persistent store — a warm store resumes a sweep without
+       recollecting anything *)
+    let ctx = Runner.Exec.create_ctx ?jobs ?cache_dir () in
+    match
+      Dse.Driver.run ~cache:ctx.Runner.Exec.cache ~jobs:ctx.Runner.Exec.jobs
+        ~replicas ?max_points ~length ~target_length:syn ~sweep ~bench:spec
+        ~seed ()
+    with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+    | Ok r ->
+      Runner.Report.render format Format.std_formatter (Dse.Driver.to_report r);
+      (match pareto_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        let ppf = Format.formatter_of_out_channel oc in
+        Runner.Report.to_csv ppf (Dse.Driver.pareto_report r);
+        Format.pp_print_flush ppf ();
+        close_out oc;
+        (* stderr: --format=json must stay a clean document on stdout *)
+        Printf.eprintf "pareto frontier CSV written to %s\n" path);
+      if Telemetry.enabled () then begin
+        let snap = Telemetry.snapshot () in
+        match format with
+        | Runner.Report.Json -> print_string (Telemetry.render_json snap)
+        | Runner.Report.Text | Runner.Report.Csv ->
+          Telemetry.render_text Format.std_formatter snap
+      end
+  in
+  let sweep_arg =
+    let doc =
+      "Sweep file (JSON): named $(b,Config.Machine) axes with value lists \
+       or log2 ranges, combined with cross/zip. See examples/*.json."
+    in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "sweep" ] ~docv:"FILE" ~doc)
+  in
+  let dse_replicas_arg =
+    let doc =
+      "Replicas per design point (seeds split deterministically from \
+       $(b,--seed)); the report's CI half-widths and the CI-aware Pareto \
+       dominance test need at least 2."
+    in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc)
+  in
+  let max_points_arg =
+    let doc =
+      "Raise the sweep expansion guard (default: the sweep file's own \
+       $(b,max_points), else 4096)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-points" ] ~docv:"N" ~doc)
+  in
+  let pareto_out_arg =
+    let doc = "Also write the Pareto frontier as CSV to $(docv)." in
+    Arg.(
+      value & opt (some string) None & info [ "pareto-out" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "design-space exploration: expand a sweep file into design points, \
+     evaluate all of them against one shared profile and compiled plan, \
+     and report the CI-aware IPC/EDP Pareto frontier"
+  in
+  Cmd.v (Cmd.info "dse" ~doc)
+    Term.(
+      const run $ sweep_arg $ bench_arg $ length_arg $ syn_arg $ seed_arg
+      $ dse_replicas_arg $ jobs_arg $ format_arg $ telemetry_arg
+      $ cache_dir_arg $ max_points_arg $ pareto_out_arg)
+
 let dot_cmd =
   let run bench length k cfg_out sfg_out =
     let spec = spec_of_name bench in
@@ -592,5 +681,5 @@ let () =
   let doc = "statistical simulation for processor design studies (ISCA 2004 reproduction)" in
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; cache_cmd;
-         dot_cmd; list_cmd ]))
+       [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; dse_cmd;
+         cache_cmd; dot_cmd; list_cmd ]))

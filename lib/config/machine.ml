@@ -167,6 +167,99 @@ let in_order_variant t = { t with in_order = true }
 
 let with_predictor t kind = { t with bpred = { t.bpred with kind } }
 
+(* --- design-space axes ---
+   The named knobs a sweep grammar may vary. Each axis owns its getter
+   and setter, so the DSE layer never pattern-matches on the record:
+   adding an axis here is the whole job. Setter values are validated
+   (>= 1) because a sweep file is user input. *)
+
+type axis = {
+  axis_name : string;
+  axis_get : t -> int;
+  axis_set : t -> int -> t;
+}
+
+let ax name get set =
+  let checked t v =
+    if v < 1 then
+      invalid_arg
+        (Printf.sprintf "Config.Machine axis %s: value %d < 1" name v)
+    else set t v
+  in
+  { axis_name = name; axis_get = get; axis_set = checked }
+
+let set_bpred_tables t v =
+  {
+    t with
+    bpred =
+      {
+        t.bpred with
+        meta_entries = v;
+        bimodal_entries = v;
+        local_hist_entries = v;
+        local_pattern_entries = v;
+      };
+  }
+
+let axes =
+  [
+    ax "ruu" (fun t -> t.ruu_size) (fun t v -> { t with ruu_size = v });
+    ax "lsq" (fun t -> t.lsq_size) (fun t v -> { t with lsq_size = v });
+    ax "ifq" (fun t -> t.ifq_size) (fun t v -> { t with ifq_size = v });
+    ax "fetch_speed"
+      (fun t -> t.fetch_speed)
+      (fun t v -> { t with fetch_speed = v });
+    ax "decode_width"
+      (fun t -> t.decode_width)
+      (fun t v -> { t with decode_width = v });
+    ax "issue_width"
+      (fun t -> t.issue_width)
+      (fun t v -> { t with issue_width = v });
+    ax "commit_width"
+      (fun t -> t.commit_width)
+      (fun t v -> { t with commit_width = v });
+    (* the classic machine-width sweep: decode = issue = commit *)
+    ax "width" (fun t -> t.decode_width) with_width;
+    ax "mem_latency"
+      (fun t -> t.mem_latency)
+      (fun t v -> { t with mem_latency = v });
+    ax "icache_kb"
+      (fun t -> t.icache.size_bytes / 1024)
+      (fun t v -> { t with icache = { t.icache with size_bytes = kb v } });
+    ax "dcache_kb"
+      (fun t -> t.dcache.size_bytes / 1024)
+      (fun t v -> { t with dcache = { t.dcache with size_bytes = kb v } });
+    ax "l2_kb"
+      (fun t -> t.l2.size_bytes / 1024)
+      (fun t v -> { t with l2 = { t.l2 with size_bytes = kb v } });
+    ax "icache_assoc"
+      (fun t -> t.icache.assoc)
+      (fun t v -> { t with icache = { t.icache with assoc = v } });
+    ax "dcache_assoc"
+      (fun t -> t.dcache.assoc)
+      (fun t v -> { t with dcache = { t.dcache with assoc = v } });
+    ax "l2_assoc"
+      (fun t -> t.l2.assoc)
+      (fun t v -> { t with l2 = { t.l2 with assoc = v } });
+    (* all four predictor tables in lockstep, like [scale_bpred] *)
+    ax "bpred_entries" (fun t -> t.bpred.meta_entries) set_bpred_tables;
+    ax "btb_sets"
+      (fun t -> t.bpred.btb_sets)
+      (fun t v -> { t with bpred = { t.bpred with btb_sets = v } });
+    ax "ras_entries"
+      (fun t -> t.bpred.ras_entries)
+      (fun t v -> { t with bpred = { t.bpred with ras_entries = v } });
+  ]
+
+let axis_names = List.map (fun a -> a.axis_name) axes
+let find_axis name = List.find_opt (fun a -> a.axis_name = name) axes
+
+let render_axes t axs =
+  String.concat " "
+    (List.map
+       (fun a -> Printf.sprintf "%s=%d" a.axis_name (a.axis_get t))
+       axs)
+
 (* Every field, in declaration order, under a scheme-version tag. Any
    new field must be appended here (and the tag bumped if the meaning of
    an existing field changes): persistent cache keys are derived from

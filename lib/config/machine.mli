@@ -104,6 +104,37 @@ val in_order_variant : t -> t
 
 val with_predictor : t -> predictor_kind -> t
 
+(** {1 Design-space axes}
+
+    The named integer knobs a design-space sweep may vary: window and
+    queue sizes ([ruu], [lsq], [ifq]), machine widths ([decode_width],
+    [issue_width], [commit_width], the composite [width] that sets all
+    three, [fetch_speed]), cache geometry ([icache_kb], [dcache_kb],
+    [l2_kb], and the matching [_assoc] axes), branch-predictor sizing
+    ([bpred_entries] — all four tables in lockstep — [btb_sets],
+    [ras_entries]) and [mem_latency]. Each axis owns its getter and
+    setter so sweep code never touches the record shape. *)
+
+type axis = {
+  axis_name : string;
+  axis_get : t -> int;
+  axis_set : t -> int -> t;
+      (** Raises [Invalid_argument] for values < 1 — sweep files are
+          user input. *)
+}
+
+val axes : axis list
+(** Every sweepable axis, in a stable documentation order. *)
+
+val axis_names : string list
+
+val find_axis : string -> axis option
+
+val render_axes : t -> axis list -> string
+(** Canonical rendering of the given swept fields, e.g.
+    ["ruu=128 lsq=32 width=8"] — the per-point label of a sweep
+    report. Deterministic: axis order is the caller's. *)
+
 val canonical : t -> string
 (** A stable, exhaustive textual rendering of every field, for use as a
     persistent content key. Unlike [Marshal]-based digests it does not

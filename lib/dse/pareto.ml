@@ -1,0 +1,21 @@
+type objective = { value : float; ci : float }
+type point = { ipc : objective; edp : objective }
+
+let sig_above a b = a.value -. a.ci > b.value +. b.ci
+
+let dominates a b =
+  let ipc_better = sig_above a.ipc b.ipc in
+  let edp_better = sig_above b.edp a.edp in
+  let ipc_worse = sig_above b.ipc a.ipc in
+  let edp_worse = sig_above a.edp b.edp in
+  (not ipc_worse) && (not edp_worse) && (ipc_better || edp_better)
+
+let frontier_flags pts =
+  let n = Array.length pts in
+  Array.init n (fun i ->
+      let dominated = ref false in
+      for j = 0 to n - 1 do
+        if j <> i && (not !dominated) && dominates pts.(j) pts.(i) then
+          dominated := true
+      done;
+      not !dominated)

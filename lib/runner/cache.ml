@@ -3,6 +3,14 @@ type t = {
   references : Statsim.result Memo.t;
   plans : Kernel.Plan.t Memo.t;
   store : Store.t option;
+  (* actual compute-thunk executions, as opposed to memo misses (which
+     also count lookups the store answered): a design-space sweep
+     asserts profile collection and plan compilation happened at most
+     once from these. Atomic because distinct keys compute concurrently
+     on worker domains. *)
+  profile_computes : int Atomic.t;
+  plan_computes : int Atomic.t;
+  reference_computes : int Atomic.t;
   (* per-profile content digests, memoized by physical identity so
      repeated plan lookups don't re-serialize a large profile *)
   mutable pdigests : (Profile.Stat_profile.t * string) list;
@@ -16,6 +24,9 @@ type stats = {
   reference_misses : int;
   plan_hits : int;
   plan_misses : int;
+  profile_computes : int;
+  plan_computes : int;
+  reference_computes : int;
   store_hits : int;
   store_misses : int;
   store_bytes_written : int;
@@ -28,6 +39,9 @@ let create ?store () =
     references = Memo.create ~name:"cache.reference" ();
     plans = Memo.create ~name:"cache.plan" ();
     store;
+    profile_computes = Atomic.make 0;
+    plan_computes = Atomic.make 0;
+    reference_computes = Atomic.make 0;
     pdigests = [];
     pdigest_mu = Mutex.create ();
   }
@@ -49,6 +63,9 @@ let stats t =
     reference_misses = Memo.misses t.references;
     plan_hits = Memo.hits t.plans;
     plan_misses = Memo.misses t.plans;
+    profile_computes = Atomic.get t.profile_computes;
+    plan_computes = Atomic.get t.plan_computes;
+    reference_computes = Atomic.get t.reference_computes;
     store_hits = s.Store.hits;
     store_misses = s.Store.misses;
     store_bytes_written = s.Store.bytes_written;
@@ -58,6 +75,8 @@ let stats t =
 (* The canonical textual rendering is exhaustive and stable across OCaml
    versions, unlike Marshal bytes — a requirement now that keys outlive
    the process in the on-disk store. *)
+let span_plan_compile = Telemetry.span "cache.plan.compile"
+
 let cfg_key (cfg : Config.Machine.t) =
   Digest.to_hex (Digest.string (Config.Machine.canonical cfg))
 
@@ -95,6 +114,7 @@ let profile t ?(k = 1) ?(dep_cap = Profile.Sfg.dep_cap) ?branch_mode
       | p -> Ok p
       | exception Failure msg -> Error msg)
     (fun () ->
+      Atomic.incr t.profile_computes;
       Profile.Stat_profile.collect ~k ~dep_cap ~branch_mode ~perfect_caches
         ~perfect_bpred cfg (mk ()))
 
@@ -125,7 +145,12 @@ let plan t ?reduction ?target_length (p : Profile.Stat_profile.t) =
       match Kernel.Plan.of_string s with
       | pl -> Ok pl
       | exception Failure msg -> Error msg)
-    (fun () -> Kernel.Compile.plan ~reduction:r p)
+    (fun () ->
+      Atomic.incr t.plan_computes;
+      (* a named span so a warm-store run can prove (calls = 0) that it
+         never recompiled — Stat_profile.collect carries its own *)
+      Telemetry.time span_plan_compile (fun () ->
+          Kernel.Compile.plan ~reduction:r p))
 
 let reference t ?max_instructions ?(perfect_caches = false)
     ?(perfect_bpred = false) cfg ~stream_key mk =
@@ -143,5 +168,6 @@ let reference t ?max_instructions ?(perfect_caches = false)
       | m -> Ok (Statsim.result_of_metrics cfg m)
       | exception Failure msg -> Error msg)
     (fun () ->
+      Atomic.incr t.reference_computes;
       Statsim.reference ?max_instructions ~perfect_caches ~perfect_bpred cfg
         (mk ()))

@@ -29,6 +29,12 @@ type stats = {
   reference_misses : int;
   plan_hits : int;
   plan_misses : int;
+  profile_computes : int;
+      (** actual {!Profile.Stat_profile.collect} executions — unlike
+          [profile_misses], lookups the store answered do not count, so
+          a sweep can assert it collected at most once *)
+  plan_computes : int;  (** actual {!Kernel.Compile.plan} executions *)
+  reference_computes : int;  (** actual EDS simulator executions *)
   store_hits : int;  (** lookups answered by the persistent store *)
   store_misses : int;  (** store lookups that fell through to compute *)
   store_bytes_written : int;

@@ -28,6 +28,8 @@ let () =
       ("runner", Test_runner.suite);
       ("diag", Test_diag.suite);
       ("store", Test_store.suite);
+      ("dse", Test_dse.suite);
+      ("gate", Test_gate.suite);
       ("telemetry", Test_telemetry.suite);
       ("misc", Test_misc.suite);
     ]
