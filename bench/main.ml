@@ -346,6 +346,91 @@ let run_dse () =
         ("store_hits", Num (float_of_int st.store_hits));
       ]
 
+(* --- simulation service: request round-trip latency/throughput --- *)
+
+(* filled by [run_serve]; lands under the summary's "serve" key *)
+let serve_results : (string * Telemetry.Json.t) list ref = ref []
+
+let run_serve () =
+  Format.fprintf ppf "== statsim serve round-trips ==@.";
+  let scale = Experiments.Exp_common.scale in
+  let stamp = Printf.sprintf "statsim-bench-%d" (Unix.getpid ()) in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ()) (stamp ^ ".sock")
+  in
+  (* a fresh store root so "cold" really means cold, whatever
+     REPRO_CACHE_DIR says *)
+  let root = Filename.temp_file stamp "" in
+  Sys.remove root;
+  let cfg =
+    {
+      (Server.Daemon.default_config ~socket_path:sock) with
+      Server.Daemon.cache_dir = Some root;
+    }
+  in
+  let t = Server.Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop t;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () ->
+      let params =
+        let open Telemetry.Json in
+        Obj
+          [
+            ("bench", Str "gcc");
+            ("length", Num (Float.round (120_000.0 *. scale)));
+            ("synthetic", Num (Float.round (20_000.0 *. scale)));
+          ]
+      in
+      let c = Server.Client.connect ~socket:sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let round_trip label =
+            let t0 = Unix.gettimeofday () in
+            (match Server.Client.call c ~op:"simulate" params with
+            | Ok { Server.Protocol.outcome = Ok _; _ } -> ()
+            | Ok { Server.Protocol.outcome = Error (_, msg); _ } ->
+              failwith (label ^ ": " ^ msg)
+            | Error msg -> failwith (label ^ ": " ^ msg));
+            Unix.gettimeofday () -. t0
+          in
+          (* first response pays profile + plan + EDS reference *)
+          let cold = round_trip "cold" in
+          (* second response is pure cache hits *)
+          let warm_first = round_trip "warm" in
+          let reps = 30 in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (round_trip "warm batch")
+          done;
+          let warm_seconds = Unix.gettimeofday () -. t0 in
+          let rps =
+            if warm_seconds > 0.0 then float_of_int reps /. warm_seconds
+            else 0.0
+          in
+          let st = Runner.Cache.stats (Server.Daemon.cache t) in
+          Format.fprintf ppf
+            "  first response  cold %7.3fs   warm %7.3fs   speedup %.1fx@."
+            cold warm_first
+            (if warm_first > 0.0 then cold /. warm_first else 0.0);
+          Format.fprintf ppf
+            "  warm round-trips  %d in %.3fs (%.0f requests/sec)  profile \
+             collections %d  plan compilations %d@.@."
+            reps warm_seconds rps st.profile_computes st.plan_computes;
+          let open Telemetry.Json in
+          serve_results :=
+            [
+              ("cold_first_response_seconds", Num cold);
+              ("warm_first_response_seconds", Num warm_first);
+              ("warm_requests", Num (float_of_int reps));
+              ("warm_seconds", Num warm_seconds);
+              ("warm_requests_per_sec", Num rps);
+              ("profile_collections", Num (float_of_int st.profile_computes));
+              ("plan_compilations", Num (float_of_int st.plan_computes));
+            ]))
+
 (* --- driver --- *)
 
 (* one ctx for the whole invocation: the memo cache shares EDS
@@ -368,7 +453,9 @@ let usage () =
     "compiled plan vs interpreted walk, event-driven vs dense pipeline";
   (* "dse" is taken by the paper's DSE case-study experiment above *)
   Format.fprintf ppf "  %-8s %s@." "sweep"
-    "64-point design-space sweep: one profile + one plan, points/sec"
+    "64-point design-space sweep: one profile + one plan, points/sec";
+  Format.fprintf ppf "  %-8s %s@." "serve"
+    "daemon round-trips: time-to-first-response cold vs warm, requests/sec"
 
 let run_one id =
   match Experiments.Registry.find id with
@@ -384,6 +471,7 @@ let run_one id =
     else if id = "streaming" then run_streaming ()
     else if id = "kernel" then run_kernel ()
     else if id = "sweep" then run_dse ()
+    else if id = "serve" then run_serve ()
     else begin
       Format.fprintf ppf "unknown experiment %S@." id;
       usage ();
@@ -452,6 +540,9 @@ let summary_json ts =
       (* design-space sweep throughput and amortization counters; empty
          unless the "dse" bench ran this invocation *)
       ("dse", Obj !dse_results);
+      (* daemon round-trip latency and throughput; empty unless the
+         "serve" bench ran this invocation *)
+      ("serve", Obj !serve_results);
       (* distribution instruments (dependency distances, redirect run
          lengths, pipeline occupancies): totals and means only — the
          full bucket vectors live in the telemetry snapshot *)

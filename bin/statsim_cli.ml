@@ -6,9 +6,37 @@
      diag        profile-vs-synthetic-trace divergence diagnostics
      experiment  regenerate one of the paper's tables/figures
      dse         design-space sweep with a CI-aware Pareto frontier report
-     list        list workloads and experiments *)
+     serve       long-lived simulation daemon on a Unix/TCP socket
+     client      send one request to a running daemon
+     list        list workloads and experiments
+
+   simulate and diag execute through Server.Ops — the same dispatcher
+   the daemon runs — so a server reply is byte-identical to the
+   one-shot output by construction. *)
 
 open Cmdliner
+
+(* Print an Ops result the way the pre-server CLI did: report on
+   stdout, warnings and diag-check verdicts on stderr, exit 1 on a
+   failed check. *)
+let print_ops_result r =
+  print_string (Server.Ops.output r);
+  List.iter
+    (fun w -> Printf.eprintf "%s\n" w)
+    (Server.Ops.warnings r);
+  (match Telemetry.Json.member "check_message" r with
+  | Some (Telemetry.Json.Str m) -> Printf.eprintf "%s\n" m
+  | _ -> ());
+  match Telemetry.Json.member "check_ok" r with
+  | Some (Telemetry.Json.Bool false) -> exit 1
+  | _ -> ()
+
+let run_ops env ~op params =
+  match Server.Ops.dispatch env ~op params with
+  | Ok r -> print_ops_result r
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
 
 let bench_arg =
   let doc = "Workload name (one of the SPECint stand-ins)." in
@@ -84,74 +112,43 @@ let no_compile_arg =
   in
   Arg.(value & flag & info [ "no-compile" ] ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persistent artifact-store directory: statistical profiles and EDS \
+     references are published there and answered from disk on later runs, \
+     across processes (default: $(b,REPRO_CACHE_DIR); unset = in-memory \
+     only)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* Optional-field helpers for building op params. *)
+let jnum i = Telemetry.Json.Num (float_of_int i)
+
+let jopt k f v =
+  match v with None -> [] | Some v -> [ (k, f v) ]
+
 let simulate_cmd =
   let run bench length syn seed k profile_file stream no_compile replicas
-      ci_target jobs json =
-    let compile = not no_compile in
-    let cfg = Config.Machine.baseline in
-    let spec = spec_of_name bench in
-    let load_profile path =
-      let p = Profile.Serialize.load_file path in
-      (* the SFG order is baked into a saved profile at collection
-         time; silently honouring a different -k would mislead *)
-      (match k with
-      | Some k when k <> p.Profile.Stat_profile.k ->
-        Printf.eprintf
-          "warning: -k %d ignored: profile %s was collected with k=%d\n" k
-          path p.Profile.Stat_profile.k
-      | Some _ | None -> ());
-      p
+      ci_target jobs json cache_dir =
+    let params =
+      Telemetry.Json.Obj
+        ([
+           ("bench", Telemetry.Json.Str bench);
+           ("length", jnum length);
+           ("synthetic", jnum syn);
+           ("seed", jnum seed);
+           ("stream", Telemetry.Json.Bool stream);
+           ("no_compile", Telemetry.Json.Bool no_compile);
+           ("json", Telemetry.Json.Bool json);
+         ]
+        @ jopt "k" jnum k
+        @ jopt "profile" (fun s -> Telemetry.Json.Str s) profile_file
+        @ jopt "replicas" jnum replicas
+        @ jopt "ci_target" (fun v -> Telemetry.Json.Num v) ci_target
+        @ jopt "jobs" jnum jobs)
     in
-    let collect_profile () =
-      match profile_file with
-      | Some path -> load_profile path
-      | None ->
-        Statsim.profile
-          ~k:(Option.value k ~default:1)
-          cfg
-          (Workload.Suite.stream spec ~length)
-    in
-    match (replicas, ci_target) with
-    | None, None ->
-      let stream_src () = Workload.Suite.stream spec ~length in
-      let eds = Statsim.reference cfg (stream_src ()) in
-      let ss =
-        let p = collect_profile () in
-        if stream then
-          Statsim.simulate_stream ~compile ~target_length:syn cfg p ~seed
-        else Statsim.run_profile ~compile ~target_length:syn cfg p ~seed
-      in
-      Printf.printf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
-      let line name get =
-        Printf.printf "%-22s %10.3f %10.3f %7.1f%%\n" name (get eds) (get ss)
-          (100.0
-          *. Stats.Summary.absolute_error ~reference:(get eds)
-               ~predicted:(get ss))
-      in
-      line "IPC" (fun r -> r.Statsim.ipc);
-      line "EPC" (fun r -> r.Statsim.epc);
-      line "EDP" (fun r -> r.Statsim.edp);
-      Printf.printf "%-22s %10.2f %10.2f\n" "MPKI"
-        (Uarch.Metrics.mpki eds.metrics)
-        (Uarch.Metrics.mpki ss.metrics)
-    | _ ->
-      (* replication mode: dispersion across seeds, no EDS reference *)
-      let p = collect_profile () in
-      let jobs = Option.value jobs ~default:1 in
-      let r =
-        match ci_target with
-        | Some ci_target ->
-          Statsim.replicate_ci ~jobs ~stream ~compile ~target_length:syn
-            ?min_replicas:replicas cfg p ~master_seed:seed ~ci_target
-        | None ->
-          Statsim.replicate ~jobs ~stream ~compile ~target_length:syn cfg p
-            ~master_seed:seed
-            ~replicas:(Option.value replicas ~default:4)
-      in
-      if json then
-        print_string
-          (Telemetry.Json.to_string (Synth.Replicate.to_json r) ^ "\n")
-      else Synth.Replicate.render_text Format.std_formatter r
+    let env = Server.Ops.default_env ?jobs ?cache_dir () in
+    run_ops env ~op:"simulate" params
   in
   let jobs_arg =
     let doc = "Worker domains for replicas (never changes the result)." in
@@ -166,7 +163,7 @@ let simulate_cmd =
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
       $ load_arg $ stream_arg $ no_compile_arg $ replicas_arg $ ci_target_arg
-      $ jobs_arg $ json_arg)
+      $ jobs_arg $ json_arg $ cache_dir_arg)
 
 let force_arg =
   let doc = "Overwrite an existing output file." in
@@ -176,63 +173,25 @@ let force_arg =
 
 let diag_cmd =
   let run bench length syn reduction seed k profile_file no_compile json check
-      eds =
-    let compile = not no_compile in
-    let cfg = Config.Machine.baseline in
-    let p =
-      match profile_file with
-      | Some path ->
-        let p = Profile.Serialize.load_file path in
-        (match k with
-        | Some k when k <> p.Profile.Stat_profile.k ->
-          Printf.eprintf
-            "warning: -k %d ignored: profile %s was collected with k=%d\n" k
-            path p.Profile.Stat_profile.k
-        | Some _ | None -> ());
-        p
-      | None ->
-        let spec = spec_of_name bench in
-        Statsim.profile
-          ~k:(Option.value k ~default:1)
-          cfg
-          (Workload.Suite.stream spec ~length)
+      eds cache_dir =
+    let params =
+      Telemetry.Json.Obj
+        ([
+           ("bench", Telemetry.Json.Str bench);
+           ("length", jnum length);
+           ("synthetic", jnum syn);
+           ("seed", jnum seed);
+           ("no_compile", Telemetry.Json.Bool no_compile);
+           ("json", Telemetry.Json.Bool json);
+           ("eds", Telemetry.Json.Bool eds);
+         ]
+        @ jopt "reduction" jnum reduction
+        @ jopt "k" jnum k
+        @ jopt "profile" (fun s -> Telemetry.Json.Str s) profile_file
+        @ jopt "check" (fun v -> Telemetry.Json.Num v) check)
     in
-    let tr =
-      match reduction with
-      | Some r -> Synth.Generate.generate ~compile ~reduction:r p ~seed
-      | None -> Synth.Generate.generate ~compile ~target_length:syn p ~seed
-    in
-    let d = Diag.compare ~label:bench p tr in
-    let metrics =
-      if not eds then None
-      else begin
-        let spec = spec_of_name bench in
-        let eds_res =
-          Statsim.reference cfg (Workload.Suite.stream spec ~length)
-        in
-        let syn_m = Synth.Run.run cfg tr in
-        Some
-          (Diag.compare_metrics ~eds:eds_res.Statsim.metrics ~synthetic:syn_m)
-      end
-    in
-    if json then
-      print_string (Telemetry.Json.to_string (Diag.to_json ?metrics d) ^ "\n")
-    else print_string (Diag.render_text ?metrics d);
-    match check with
-    | None -> ()
-    | Some eps -> (
-      match Diag.worst d with
-      | Some w when w.Diag.max_delta > eps ->
-        Printf.eprintf "diag check FAILED: %s max|dP| = %.5f > %.5f\n"
-          w.Diag.f_name w.Diag.max_delta eps;
-        exit 1
-      | Some w ->
-        (* stderr: --json must stay a single clean document on stdout *)
-        Printf.eprintf "diag check passed: worst %s max|dP| = %.5f <= %.5f\n"
-          w.Diag.f_name w.Diag.max_delta eps
-      | None ->
-        prerr_endline "diag check FAILED: no features compared";
-        exit 1)
+    let env = Server.Ops.default_env ?cache_dir () in
+    run_ops env ~op:"diag" params
   in
   let reduction_arg =
     let doc =
@@ -269,7 +228,7 @@ let diag_cmd =
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ reduction_arg $ seed_arg
       $ k_opt_arg $ load_arg $ no_compile_arg $ json_arg $ check_arg
-      $ eds_arg)
+      $ eds_arg $ cache_dir_arg)
 
 let profile_cmd =
   let run bench length k save force =
@@ -341,15 +300,6 @@ let telemetry_arg =
      process-wide."
   in
   Arg.(value & flag & info [ "telemetry" ] ~doc)
-
-let cache_dir_arg =
-  let doc =
-    "Persistent artifact-store directory: statistical profiles and EDS \
-     references are published there and answered from disk on later runs, \
-     across processes (default: $(b,REPRO_CACHE_DIR); unset = in-memory \
-     only)."
-  in
-  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let experiment_cmd =
   let run ids format jobs telemetry cache_dir trace_out diag replicas =
@@ -665,6 +615,204 @@ let cache_cmd =
   let doc = "inspect and maintain the persistent artifact store" in
   Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; gc_cmd; clear_cmd ]
 
+(* --- simulation service: statsim serve / statsim client --- *)
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path (daemon: listen here; client: connect here)."
+  in
+  Arg.(
+    value & opt string "./statsim.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run socket tcp_port workers queue jobs cache_dir max_frame telemetry =
+    if telemetry then Telemetry.set_enabled true;
+    let cfg =
+      {
+        (Server.Daemon.default_config ~socket_path:socket) with
+        Server.Daemon.tcp = Option.map (fun p -> ("127.0.0.1", p)) tcp_port;
+        workers;
+        queue_depth = queue;
+        jobs = Option.value jobs ~default:1;
+        cache_dir;
+        max_frame;
+      }
+    in
+    match Server.Daemon.serve cfg with
+    | () -> ()
+    | exception Failure msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let tcp_port_arg =
+    let doc = "Also listen on 127.0.0.1:$(docv) (TCP)." in
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains executing requests." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue depth; further requests are shed with a structured \
+       $(b,overloaded) reply."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Largest accepted request frame payload, in bytes." in
+    Arg.(
+      value
+      & opt int Server.Frame.default_max_payload
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let telemetry_arg =
+    let doc =
+      "Collect telemetry (per-request spans, server.* counters) for the \
+       daemon's lifetime."
+    in
+    Arg.(value & flag & info [ "telemetry" ] ~doc)
+  in
+  let doc =
+    "run the simulation-as-a-service daemon: all clients share one hot \
+     profile/plan/EDS cache; SIGTERM/SIGINT drain gracefully"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_port_arg $ workers_arg $ queue_arg
+      $ jobs_arg $ cache_dir_arg $ max_frame_arg $ telemetry_arg)
+
+let client_cmd =
+  let run socket tcp op params_str deadline_ms repeat parallel =
+    let params =
+      match Telemetry.Json.of_string params_str with
+      | Ok j -> j
+      | Error e ->
+        Printf.eprintf "bad --params: %s\n" e;
+        exit 2
+    in
+    let connect () =
+      match tcp with
+      | None -> Server.Client.connect ~socket
+      | Some hp -> (
+        match String.rindex_opt hp ':' with
+        | Some i ->
+          let host = String.sub hp 0 i in
+          let port =
+            match int_of_string_opt (String.sub hp (i + 1)
+                                       (String.length hp - i - 1)) with
+            | Some p -> p
+            | None -> failwith ("bad --tcp " ^ hp)
+          in
+          Server.Client.connect_tcp ~host ~port
+        | None -> failwith ("bad --tcp " ^ hp))
+    in
+    (* one connection per worker thread, [repeat] calls on it; replies
+       are printed after all joins, in worker order, so output is
+       deterministic under --parallel *)
+    let one () =
+      match connect () with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+      | exception Failure m -> Error m
+      | c ->
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            let rec go i acc =
+              if i >= repeat then Ok (List.rev acc)
+              else
+                match Server.Client.call c ?deadline_ms ~op params with
+                | Error e -> Error e
+                | Ok r -> go (i + 1) (r :: acc)
+            in
+            go 0 [])
+    in
+    let print_reply (r : Server.Protocol.reply) =
+      match r.Server.Protocol.outcome with
+      | Error (code, msg) ->
+        Printf.eprintf "error %s: %s\n" (Server.Protocol.code_name code) msg;
+        false
+      | Ok result ->
+        (match Telemetry.Json.member "output" result with
+        | Some (Telemetry.Json.Str s) -> print_string s
+        | _ -> print_string (Telemetry.Json.to_string result ^ "\n"));
+        List.iter
+          (fun w -> Printf.eprintf "%s\n" w)
+          (Server.Ops.warnings result);
+        (match Telemetry.Json.member "check_message" result with
+        | Some (Telemetry.Json.Str m) -> Printf.eprintf "%s\n" m
+        | _ -> ());
+        (match Telemetry.Json.member "check_ok" result with
+        | Some (Telemetry.Json.Bool false) -> false
+        | _ -> true)
+    in
+    let results =
+      if parallel <= 1 then [| one () |]
+      else begin
+        let results = Array.make parallel (Error "not run") in
+        let threads =
+          Array.init parallel
+            (fun i -> Thread.create (fun () -> results.(i) <- one ()) ())
+        in
+        Array.iter Thread.join threads;
+        results
+      end
+    in
+    let ok =
+      Array.fold_left
+        (fun ok -> function
+          | Error e ->
+            Printf.eprintf "%s\n" e;
+            false
+          | Ok replies -> List.fold_left (fun ok r -> print_reply r && ok) ok replies)
+        true results
+    in
+    if not ok then exit 1
+  in
+  let op_arg =
+    let doc =
+      Printf.sprintf "Request op: one of %s."
+        (String.concat ", " Server.Ops.op_names)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+  in
+  let tcp_arg =
+    let doc = "Connect over TCP instead of the Unix socket." in
+    Arg.(
+      value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let params_arg =
+    let doc = "Op parameters as a JSON object." in
+    Arg.(value & opt string "{}" & info [ "params" ] ~docv:"JSON" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-request deadline; an expired request answers \
+       $(b,deadline_exceeded)."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let repeat_arg =
+    let doc = "Send the request $(docv) times on one connection." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let parallel_arg =
+    let doc =
+      "Fire the request from $(docv) concurrent connections (each doing \
+       $(b,--repeat) calls); output is printed in connection order."
+    in
+    Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
+  in
+  let doc = "send one request to a running statsim serve daemon" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ op_arg $ params_arg $ deadline_arg
+      $ repeat_arg $ parallel_arg)
+
 let list_cmd =
   let run () =
     Printf.printf "workloads:\n  %s\n\nexperiments:\n"
@@ -682,4 +830,4 @@ let () =
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; dse_cmd;
-         cache_cmd; dot_cmd; list_cmd ]))
+         serve_cmd; client_cmd; cache_cmd; dot_cmd; list_cmd ]))

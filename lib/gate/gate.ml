@@ -111,6 +111,29 @@ let default_checks =
         abs_slack = 0.5;
       };
     ]
+  (* the serve daemon: time-to-first-response cold (profile + plan +
+     reference all computed) and warm (pure cache hits), plus the warm
+     round-trip batch — regressions only, timings are scale-noisy *)
+  @ [
+      {
+        label = "serve.cold_first_response_seconds";
+        path = [ "serve"; "cold_first_response_seconds" ];
+        both_directions = false;
+        abs_slack = 0.25;
+      };
+      {
+        label = "serve.warm_first_response_seconds";
+        path = [ "serve"; "warm_first_response_seconds" ];
+        both_directions = false;
+        abs_slack = 0.05;
+      };
+      {
+        label = "serve.warm_seconds";
+        path = [ "serve"; "warm_seconds" ];
+        both_directions = false;
+        abs_slack = 0.1;
+      };
+    ]
 
 let evaluate ~threshold ~baseline ~current check =
   match (num_field baseline check.path, num_field current check.path) with

@@ -41,6 +41,80 @@ let map ~jobs f a =
       results
   end
 
+module Service = struct
+  (* A persistent pool: unlike [map], the workers outlive any one batch
+     of jobs, pulling from a bounded queue until [shutdown]. Rejection
+     (a full queue) is the caller's backpressure signal. *)
+
+  type 'a t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    queue : 'a Queue.t;
+    depth : int;
+    mutable closed : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  let create ~workers ~queue_depth ~handler =
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        depth = max 1 queue_depth;
+        closed = false;
+        domains = [];
+      }
+    in
+    let worker () =
+      let rec loop () =
+        Mutex.lock t.mutex;
+        let rec next () =
+          if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+          else if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            next ()
+          end
+        in
+        let job = next () in
+        Mutex.unlock t.mutex;
+        match job with
+        | None -> ()
+        | Some job ->
+          (try handler job with _ -> ());
+          loop ()
+      in
+      loop ()
+    in
+    t.domains <- List.init (max 1 workers) (fun _ -> Domain.spawn worker);
+    t
+
+  let submit t job =
+    Mutex.lock t.mutex;
+    let accepted = (not t.closed) && Queue.length t.queue < t.depth in
+    if accepted then begin
+      Queue.push job t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  let pending t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
 let default_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
   | None -> 1

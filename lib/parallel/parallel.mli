@@ -20,3 +20,32 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val default_jobs : unit -> int
 (** The worker count requested via the [REPRO_JOBS] environment
     variable; 1 (serial) when unset or invalid. *)
+
+(** A persistent worker pool with a bounded admission queue. Where
+    {!map} runs one batch to completion, a [Service.t] keeps its worker
+    domains alive across an open-ended job stream — the execution
+    substrate for the [statsim serve] daemon. [submit] never blocks:
+    when the queue is full it returns [false] and the caller decides
+    what load-shedding means (the server replies [overloaded]).
+    Handler exceptions are swallowed; a handler that needs to report
+    failure must do so through its own channel before raising. *)
+module Service : sig
+  type 'a t
+
+  val create :
+    workers:int -> queue_depth:int -> handler:('a -> unit) -> 'a t
+  (** Spawns [max 1 workers] domains immediately; each repeatedly pulls
+      one job and runs [handler] on it. [queue_depth] (min 1) bounds
+      jobs admitted but not yet picked up. *)
+
+  val submit : 'a t -> 'a -> bool
+  (** [false] when the queue is at [queue_depth] or the service is shut
+      down — the job was not admitted. *)
+
+  val pending : 'a t -> int
+  (** Jobs admitted and still waiting for a worker. *)
+
+  val shutdown : 'a t -> unit
+  (** Graceful drain: stop admitting, let the workers finish every
+      already-admitted job, then join them. Idempotent. *)
+end

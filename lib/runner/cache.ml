@@ -72,6 +72,25 @@ let stats t =
     store_quarantined = s.Store.quarantined;
   }
 
+let stats_json (s : stats) =
+  let n v = Telemetry.Json.Num (float_of_int v) in
+  Telemetry.Json.Obj
+    [
+      ("profile_hits", n s.profile_hits);
+      ("profile_misses", n s.profile_misses);
+      ("reference_hits", n s.reference_hits);
+      ("reference_misses", n s.reference_misses);
+      ("plan_hits", n s.plan_hits);
+      ("plan_misses", n s.plan_misses);
+      ("profile_computes", n s.profile_computes);
+      ("plan_computes", n s.plan_computes);
+      ("reference_computes", n s.reference_computes);
+      ("store_hits", n s.store_hits);
+      ("store_misses", n s.store_misses);
+      ("store_bytes_written", n s.store_bytes_written);
+      ("store_quarantined", n s.store_quarantined);
+    ]
+
 (* The canonical textual rendering is exhaustive and stable across OCaml
    versions, unlike Marshal bytes — a requirement now that keys outlive
    the process in the on-disk store. *)

@@ -48,6 +48,10 @@ val store : t -> Store.t option
 val stats : t -> stats
 (** Store counters are all 0 when the cache has no store. *)
 
+val stats_json : stats -> Telemetry.Json.t
+(** Flat object, one integral [Num] per {!stats} field, in declaration
+    order — the payload of the server's [cache-stats] reply. *)
+
 val cfg_key : Config.Machine.t -> string
 (** Content digest of a machine configuration, derived from
     {!Config.Machine.canonical} — stable across processes and OCaml

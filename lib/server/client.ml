@@ -1,0 +1,52 @@
+type t = { fd : Unix.file_descr }
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let connect_tcp ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith ("cannot resolve " ^ host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.TCP_NODELAY true;
+     Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t ?id ?deadline_ms ~op params =
+  let req = { Protocol.id; op; deadline_ms; params } in
+  Frame.write t.fd (Frame.encode (Protocol.request_to_string req))
+
+let recv ?max_payload t =
+  match Frame.read ?max_payload t.fd with
+  | Ok payload -> Protocol.parse_reply payload
+  | Error Frame.Closed -> Error "connection closed"
+  | Error (Frame.Corrupt msg) -> Error msg
+
+let call t ?id ?deadline_ms ~op params =
+  match send t ?id ?deadline_ms ~op params with
+  | Error e -> Error e
+  | Ok () -> recv t
+
+let oneshot ~socket ?deadline_ms ~op params =
+  match connect ~socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+  | t ->
+    Fun.protect ~finally:(fun () -> close t) (fun () ->
+        call t ?deadline_ms ~op params)

@@ -1,0 +1,45 @@
+(** A blocking client for the [statsim serve] protocol — what the
+    [statsim client] subcommand, the bench harness and the tests speak.
+
+    A connection may pipeline: several {!send}s before the matching
+    {!recv}s. Replies arrive in completion order; correlate with [id]s
+    when it matters. {!call} is the simple send-one/await-one shape,
+    {!oneshot} additionally owns the connection. *)
+
+type t
+
+val connect : socket:string -> t
+(** Unix-domain connect; raises [Unix.Unix_error] when nothing
+    listens. *)
+
+val connect_tcp : host:string -> port:int -> t
+val close : t -> unit
+
+val send :
+  t ->
+  ?id:int ->
+  ?deadline_ms:int ->
+  op:string ->
+  Telemetry.Json.t ->
+  (unit, string) result
+
+val recv : ?max_payload:int -> t -> (Protocol.reply, string) result
+(** One reply frame. [Error] covers transport loss ("connection
+    closed") and protocol corruption. *)
+
+val call :
+  t ->
+  ?id:int ->
+  ?deadline_ms:int ->
+  op:string ->
+  Telemetry.Json.t ->
+  (Protocol.reply, string) result
+
+val oneshot :
+  socket:string ->
+  ?deadline_ms:int ->
+  op:string ->
+  Telemetry.Json.t ->
+  (Protocol.reply, string) result
+(** Connect, {!call}, close — including connect failures as [Error]
+    rather than an exception. *)

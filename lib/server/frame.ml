@@ -1,0 +1,98 @@
+let magic = "SFRM"
+let version = 1
+let header_len = 4 + 1 + 4 + 16
+let default_max_payload = 8 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  if n > 0x7FFFFFFF then invalid_arg "Frame.encode: payload too large";
+  let b = Buffer.create (header_len + n) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Header checks shared by the string and fd readers. Returns the
+   declared payload length and the expected digest. *)
+let check_header ?(max_payload = default_max_payload) hdr =
+  if String.length hdr < header_len then Error "frame shorter than header"
+  else if String.sub hdr 0 4 <> magic then Error "bad magic"
+  else if Char.code hdr.[4] <> version then
+    Error (Printf.sprintf "unsupported frame version %d" (Char.code hdr.[4]))
+  else begin
+    let n = Int32.to_int (String.get_int32_be hdr 5) in
+    if n < 0 || n > max_payload then
+      Error (Printf.sprintf "declared payload length %d exceeds limit %d" n
+               max_payload)
+    else Ok (n, String.sub hdr 9 16)
+  end
+
+let decode ?max_payload s =
+  match check_header ?max_payload s with
+  | Error _ as e -> e
+  | Ok (n, digest) ->
+    if String.length s <> header_len + n then
+      Error
+        (Printf.sprintf "frame length %d does not match declared payload %d"
+           (String.length s) n)
+    else begin
+      let payload = String.sub s header_len n in
+      if Digest.string payload <> digest then Error "payload digest mismatch"
+      else Ok payload
+    end
+
+type read_error = Closed | Corrupt of string
+
+(* Fill [len] bytes starting at [pos]; reports how much of this fill
+   arrived before a clean EOF so the caller can tell a frame-boundary
+   close from mid-frame truncation. *)
+let really_read fd buf pos len =
+  let rec go off remaining =
+    if remaining = 0 then `Done
+    else
+      match Unix.read fd buf off remaining with
+      | 0 -> `Eof (off - pos)
+      | k -> go (off + k) (remaining - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+        ->
+        `Gone
+      | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+  in
+  go pos len
+
+let read ?max_payload fd =
+  let hdr = Bytes.create header_len in
+  match really_read fd hdr 0 header_len with
+  | `Eof 0 | `Gone -> Error Closed
+  | `Eof _ -> Error (Corrupt "truncated frame header")
+  | `Err m -> Error (Corrupt m)
+  | `Done -> (
+    match check_header ?max_payload (Bytes.to_string hdr) with
+    | Error m -> Error (Corrupt m)
+    | Ok (n, digest) -> (
+      let payload = Bytes.create n in
+      match really_read fd payload 0 n with
+      | `Eof _ -> Error (Corrupt "truncated frame payload")
+      | `Gone -> Error Closed
+      | `Err m -> Error (Corrupt m)
+      | `Done ->
+        let payload = Bytes.unsafe_to_string payload in
+        if Digest.string payload <> digest then
+          Error (Corrupt "payload digest mismatch")
+        else Ok payload))
+
+let write fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring fd s off (len - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0

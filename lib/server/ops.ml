@@ -1,0 +1,411 @@
+module Json = Telemetry.Json
+
+exception Cancelled
+exception Deadline_exceeded
+
+type env = { cache : Runner.Cache.t; jobs : int; check : unit -> unit }
+
+let default_env ?jobs ?cache_dir ?(check = fun () -> ()) () =
+  let ctx = Runner.Exec.create_ctx ?jobs ?cache_dir () in
+  { cache = ctx.Runner.Exec.cache; jobs = ctx.Runner.Exec.jobs; check }
+
+let op_names =
+  [
+    "ping"; "cache-stats"; "simulate"; "replicate"; "diag"; "experiment";
+    "dse"; "sleep";
+  ]
+
+(* --- params decoding --- *)
+
+exception Bad_param of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_param m)) fmt
+
+let int_exn ~what = function
+  | Json.Num v when Float.is_integer v && Float.abs v < 1e15 ->
+    int_of_float v
+  | _ -> bad "%S must be an integral number" what
+
+let opt_field params k decode =
+  match Json.member k params with
+  | None | Some Json.Null -> None
+  | Some j -> Some (decode ~what:k j)
+
+let int_opt params k = opt_field params k int_exn
+
+let int_def params k default =
+  Option.value (int_opt params k) ~default
+
+let float_opt params k =
+  opt_field params k (fun ~what -> function
+    | Json.Num v -> v
+    | _ -> bad "%S must be a number" what)
+
+let str_opt params k =
+  opt_field params k (fun ~what -> function
+    | Json.Str s -> s
+    | _ -> bad "%S must be a string" what)
+
+let str_def params k default = Option.value (str_opt params k) ~default
+
+let bool_def params k default =
+  Option.value
+    (opt_field params k (fun ~what -> function
+       | Json.Bool b -> b
+       | _ -> bad "%S must be a boolean" what))
+    ~default
+
+let str_list params k =
+  match Json.member k params with
+  | None | Some Json.Null -> []
+  | Some (Json.Arr items) ->
+    List.map
+      (function Json.Str s -> s | _ -> bad "%S must be an array of strings" k)
+      items
+  | Some _ -> bad "%S must be an array of strings" k
+
+(* --- shared pieces --- *)
+
+let find_spec name =
+  match Workload.Suite.find name with
+  | spec -> spec
+  | exception Not_found ->
+    bad "unknown workload %S; try: %s" name
+      (String.concat " " Workload.Suite.names)
+
+(* the same stream key Exp_common.src_key builds for an Int_src, so a
+   server answering both `simulate` and `experiment` shares entries *)
+let stream_key ~bench ~length = Printf.sprintf "int:%s:o0:n%d" bench length
+
+(* A profile either loaded from a file (with the CLI's -k mismatch
+   warning) or collected through the shared cache. *)
+let collect_profile env ~warn cfg ~bench ~length ~k ~profile_file =
+  match profile_file with
+  | Some path ->
+    let p = Profile.Serialize.load_file path in
+    (match k with
+    | Some k when k <> p.Profile.Stat_profile.k ->
+      warn
+        (Printf.sprintf
+           "warning: -k %d ignored: profile %s was collected with k=%d" k path
+           p.Profile.Stat_profile.k)
+    | Some _ | None -> ());
+    p
+  | None ->
+    let spec = find_spec bench in
+    Runner.Cache.profile env.cache ?k cfg
+      ~stream_key:(stream_key ~bench ~length) (fun () ->
+        Workload.Suite.stream spec ~length)
+
+let result_obj ?(extra = []) ~warnings buf =
+  let fields = [ ("output", Json.Str (Buffer.contents buf)) ] @ extra in
+  let fields =
+    match List.rev warnings with
+    | [] -> fields
+    | ws -> fields @ [ ("warnings", Json.Arr (List.map (fun w -> Json.Str w) ws)) ]
+  in
+  Ok (Json.Obj fields)
+
+(* --- simulate / replicate --- *)
+
+(* [force_replicas] is the `replicate` op: same engine, but always the
+   multi-seed dispersion report (default 4 replicas). *)
+let simulate env ~force_replicas params =
+  let bench = str_def params "bench" "gcc" in
+  let length = int_def params "length" 300_000 in
+  let syn = int_def params "synthetic" 40_000 in
+  let seed = int_def params "seed" 42 in
+  let k = int_opt params "k" in
+  let profile_file = str_opt params "profile" in
+  let stream = bool_def params "stream" false in
+  let compile = not (bool_def params "no_compile" false) in
+  let replicas =
+    match int_opt params "replicas" with
+    | Some n -> Some n
+    | None -> if force_replicas then Some 4 else None
+  in
+  let ci_target = float_opt params "ci_target" in
+  let jobs = max 1 (int_def params "jobs" env.jobs) in
+  let json = bool_def params "json" false in
+  let cfg = Config.Machine.baseline in
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  let collect () =
+    collect_profile env ~warn cfg ~bench ~length ~k ~profile_file
+  in
+  let buf = Buffer.create 512 in
+  (match (replicas, ci_target) with
+  | None, None ->
+    let spec = find_spec bench in
+    env.check ();
+    let eds =
+      Runner.Cache.reference env.cache cfg
+        ~stream_key:(stream_key ~bench ~length) (fun () ->
+          Workload.Suite.stream spec ~length)
+    in
+    env.check ();
+    let ss =
+      let p = collect () in
+      env.check ();
+      if compile then begin
+        (* the cached plan samples bit-identically to a fresh
+           Generate.generate ~compile, so this equals the one-shot
+           Statsim.run_profile/simulate_stream path byte-for-byte *)
+        let plan = Runner.Cache.plan env.cache ~target_length:syn p in
+        env.check ();
+        if stream then Statsim.run_plan cfg plan ~seed
+        else Statsim.simulate cfg (Synth.Generate.generate_of_plan plan ~seed)
+      end
+      else if stream then
+        Statsim.simulate_stream ~compile:false ~target_length:syn cfg p ~seed
+      else Statsim.run_profile ~compile:false ~target_length:syn cfg p ~seed
+    in
+    Printf.bprintf buf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
+    let line name get =
+      Printf.bprintf buf "%-22s %10.3f %10.3f %7.1f%%\n" name (get eds)
+        (get ss)
+        (100.0
+        *. Stats.Summary.absolute_error ~reference:(get eds)
+             ~predicted:(get ss))
+    in
+    line "IPC" (fun r -> r.Statsim.ipc);
+    line "EPC" (fun r -> r.Statsim.epc);
+    line "EDP" (fun r -> r.Statsim.edp);
+    Printf.bprintf buf "%-22s %10.2f %10.2f\n" "MPKI"
+      (Uarch.Metrics.mpki eds.Statsim.metrics)
+      (Uarch.Metrics.mpki ss.Statsim.metrics)
+  | _ ->
+    (* replication mode: dispersion across seeds, no EDS reference *)
+    let p = collect () in
+    env.check ();
+    let r =
+      match ci_target with
+      | Some ci_target ->
+        Synth.Replicate.run_ci ~jobs ~stream ~compile ~check:env.check
+          ~target_length:syn ?min_replicas:replicas cfg p ~master_seed:seed
+          ~ci_target
+      | None ->
+        Synth.Replicate.run ~jobs ~stream ~compile ~check:env.check
+          ~target_length:syn cfg p ~master_seed:seed
+          ~replicas:(Option.value replicas ~default:4)
+    in
+    if json then
+      Buffer.add_string buf
+        (Json.to_string (Synth.Replicate.to_json r) ^ "\n")
+    else begin
+      let ppf = Format.formatter_of_buffer buf in
+      Synth.Replicate.render_text ppf r;
+      Format.pp_print_flush ppf ()
+    end);
+  result_obj ~warnings:!warnings buf
+
+(* --- diag --- *)
+
+let diag env params =
+  let bench = str_def params "bench" "gcc" in
+  let length = int_def params "length" 300_000 in
+  let syn = int_def params "synthetic" 40_000 in
+  let reduction = int_opt params "reduction" in
+  let seed = int_def params "seed" 42 in
+  let k = int_opt params "k" in
+  let profile_file = str_opt params "profile" in
+  let compile = not (bool_def params "no_compile" false) in
+  let json = bool_def params "json" false in
+  let check_eps = float_opt params "check" in
+  let eds = bool_def params "eds" false in
+  let cfg = Config.Machine.baseline in
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  let p = collect_profile env ~warn cfg ~bench ~length ~k ~profile_file in
+  env.check ();
+  let tr =
+    if compile then begin
+      let plan =
+        match reduction with
+        | Some r -> Runner.Cache.plan env.cache ~reduction:r p
+        | None -> Runner.Cache.plan env.cache ~target_length:syn p
+      in
+      env.check ();
+      Synth.Generate.generate_of_plan plan ~seed
+    end
+    else
+      match reduction with
+      | Some r -> Synth.Generate.generate ~compile:false ~reduction:r p ~seed
+      | None ->
+        Synth.Generate.generate ~compile:false ~target_length:syn p ~seed
+  in
+  env.check ();
+  let d = Diag.compare ~label:bench p tr in
+  let metrics =
+    if not eds then None
+    else begin
+      let spec = find_spec bench in
+      env.check ();
+      let eds_res =
+        Runner.Cache.reference env.cache cfg
+          ~stream_key:(stream_key ~bench ~length) (fun () ->
+            Workload.Suite.stream spec ~length)
+      in
+      let syn_m = Synth.Run.run cfg tr in
+      Some (Diag.compare_metrics ~eds:eds_res.Statsim.metrics ~synthetic:syn_m)
+    end
+  in
+  let buf = Buffer.create 512 in
+  if json then
+    Buffer.add_string buf (Json.to_string (Diag.to_json ?metrics d) ^ "\n")
+  else Buffer.add_string buf (Diag.render_text ?metrics d);
+  let extra =
+    match check_eps with
+    | None -> []
+    | Some eps -> (
+      match Diag.worst d with
+      | Some w when w.Diag.max_delta > eps ->
+        [
+          ("check_ok", Json.Bool false);
+          ( "check_message",
+            Json.Str
+              (Printf.sprintf "diag check FAILED: %s max|dP| = %.5f > %.5f"
+                 w.Diag.f_name w.Diag.max_delta eps) );
+        ]
+      | Some w ->
+        [
+          ("check_ok", Json.Bool true);
+          ( "check_message",
+            Json.Str
+              (Printf.sprintf
+                 "diag check passed: worst %s max|dP| = %.5f <= %.5f"
+                 w.Diag.f_name w.Diag.max_delta eps) );
+        ]
+      | None ->
+        [
+          ("check_ok", Json.Bool false);
+          ("check_message", Json.Str "diag check FAILED: no features compared");
+        ])
+  in
+  result_obj ~extra ~warnings:!warnings buf
+
+(* --- experiment --- *)
+
+let experiment env params =
+  let ids = str_list params "ids" in
+  let format =
+    let name = str_def params "format" "text" in
+    match Runner.Report.format_of_string name with
+    | Some f -> f
+    | None ->
+      bad "unknown format %S (one of: %s)" name
+        (String.concat " " Runner.Report.format_names)
+  in
+  let entries =
+    match ids with
+    | [] -> Experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e
+          | None -> bad "unknown experiment %S" id)
+        ids
+  in
+  let ctx = { Runner.Exec.cache = env.cache; jobs = env.jobs } in
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      env.check ();
+      Runner.Report.render format ppf (Runner.Exec.run ~label:e.id ctx e.plan))
+    entries;
+  Format.pp_print_flush ppf ();
+  result_obj ~warnings:[] buf
+
+(* --- dse --- *)
+
+let dse env params =
+  let sweep =
+    match Json.member "sweep" params with
+    | Some (Json.Str path) -> (
+      match Dse.Sweep.load_file path with
+      | Ok s -> s
+      | Error m -> bad "%s" m)
+    | Some j -> (
+      match Dse.Sweep.of_json j with Ok s -> s | Error m -> bad "%s" m)
+    | None -> bad "missing \"sweep\" (inline sweep object or file path)"
+  in
+  let bench = str_def params "bench" "gcc" in
+  let length = int_def params "length" 300_000 in
+  let syn = int_def params "synthetic" 40_000 in
+  let seed = int_def params "seed" 42 in
+  let replicas = int_def params "replicas" 1 in
+  let max_points = int_opt params "max_points" in
+  let format =
+    let name = str_def params "format" "text" in
+    match Runner.Report.format_of_string name with
+    | Some f -> f
+    | None ->
+      bad "unknown format %S (one of: %s)" name
+        (String.concat " " Runner.Report.format_names)
+  in
+  let spec = find_spec bench in
+  env.check ();
+  match
+    Dse.Driver.run ~cache:env.cache ~jobs:env.jobs ~replicas ?max_points
+      ~length ~target_length:syn ~sweep ~bench:spec ~seed ()
+  with
+  | Error m -> Error m
+  | Ok r ->
+    let buf = Buffer.create 1024 in
+    let ppf = Format.formatter_of_buffer buf in
+    Runner.Report.render format ppf (Dse.Driver.to_report r);
+    Format.pp_print_flush ppf ();
+    result_obj ~warnings:[] buf
+
+(* --- small ops --- *)
+
+let cache_stats env =
+  Ok (Runner.Cache.stats_json (Runner.Cache.stats env.cache))
+
+let ping () =
+  Ok (Json.Obj [ ("pong", Json.Bool true); ("output", Json.Str "pong\n") ])
+
+(* A deterministic time-sink for overload/cancellation testing: spins in
+   10 ms naps, visiting the cooperative check point on every lap. *)
+let sleep env params =
+  let ms = min 60_000 (max 0 (int_def params "ms" 100)) in
+  let t_end = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+  let rec nap () =
+    env.check ();
+    let remaining = t_end -. Unix.gettimeofday () in
+    if remaining > 0.0 then begin
+      (try Unix.sleepf (Float.min 0.01 remaining)
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      nap ()
+    end
+  in
+  nap ();
+  Ok (Json.Obj [ ("slept_ms", Json.Num (float_of_int ms)) ])
+
+let dispatch env ~op params =
+  try
+    match op with
+    | "ping" -> ping ()
+    | "cache-stats" -> cache_stats env
+    | "simulate" -> simulate env ~force_replicas:false params
+    | "replicate" -> simulate env ~force_replicas:true params
+    | "diag" -> diag env params
+    | "experiment" -> experiment env params
+    | "dse" -> dse env params
+    | "sleep" -> sleep env params
+    | op ->
+      Error
+        (Printf.sprintf "unknown op %S (one of: %s)" op
+           (String.concat " " op_names))
+  with Bad_param m -> Error m
+
+let output r =
+  match Json.member "output" r with Some (Json.Str s) -> s | _ -> ""
+
+let warnings r =
+  match Json.member "warnings" r with
+  | Some (Json.Arr ws) ->
+    List.filter_map (function Json.Str s -> Some s | _ -> None) ws
+  | _ -> []

@@ -1,0 +1,57 @@
+(** The request dispatcher: every server op, executable in-process.
+
+    Each op renders its human-readable report into the reply's
+    ["output"] field with exactly the format strings the one-shot CLI
+    uses — the CLI subcommands call {!dispatch} themselves and print
+    ["output"] verbatim, so a server reply is byte-identical to the
+    one-shot CLI's stdout by construction, not by parallel maintenance
+    of two code paths.
+
+    All heavy artifacts flow through the {!env}'s shared
+    {!Runner.Cache}: SFG profiles, compiled {!Kernel.Plan}s and EDS
+    references are single-flight memoized, so N concurrent [simulate]
+    requests against a cold cache still collect one profile and compile
+    one plan ([profile_computes = 1], [plan_computes = 1]). *)
+
+exception Cancelled
+(** Raised by an {!env}'s [check] when the client vanished. *)
+
+exception Deadline_exceeded
+(** Raised by an {!env}'s [check] when the request's deadline passed. *)
+
+type env = {
+  cache : Runner.Cache.t;  (** process-wide hot cache, shared by all *)
+  jobs : int;  (** Domain fan-out inside one request *)
+  check : unit -> unit;
+      (** cooperative cancellation point: called between pipeline
+          stages and at every replica boundary (threaded into
+          {!Synth.Replicate.run}); raise to abort the request *)
+}
+
+val default_env :
+  ?jobs:int -> ?cache_dir:string -> ?check:(unit -> unit) -> unit -> env
+(** Like {!Runner.Exec.create_ctx}: [jobs] defaults to [REPRO_JOBS],
+    [cache_dir] to [REPRO_CACHE_DIR] (when set either way, the cache is
+    backed by the persistent store). [check] defaults to a no-op (the
+    CLI's one-shot environment). *)
+
+val op_names : string list
+(** ["ping"; "cache-stats"; "simulate"; "replicate"; "diag";
+    "experiment"; "dse"; "sleep"]. *)
+
+val dispatch :
+  env -> op:string -> Telemetry.Json.t -> (Telemetry.Json.t, string) result
+(** Run one op. [Ok] carries the result object — ["output"] holds the
+    CLI-identical report text; ops may add structured fields
+    (["warnings"], diag's ["check_ok"]/["check_message"],
+    [cache-stats]' counters). [Error] is a client mistake (unknown op,
+    unknown workload, bad params) to be mapped to a [bad_request]
+    reply. Exceptions (including {!Cancelled}/{!Deadline_exceeded}
+    raised from [env.check]) propagate to the caller. *)
+
+val output : Telemetry.Json.t -> string
+(** The ["output"] field of a result object, or [""]. *)
+
+val warnings : Telemetry.Json.t -> string list
+(** The ["warnings"] field of a result object (stderr lines in the
+    one-shot CLI), or []. *)

@@ -1,0 +1,147 @@
+module Json = Telemetry.Json
+
+type request = {
+  id : int option;
+  op : string;
+  deadline_ms : int option;
+  params : Json.t;
+}
+
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | Cancelled
+  | Internal
+
+let code_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+
+let code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "cancelled" -> Some Cancelled
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* Socket payloads are adversarial: parse under tight limits so a
+   hostile document is an error reply, never a stack or heap blowup. *)
+let max_depth = 64
+let max_string = 1 lsl 20
+
+let request_to_string r =
+  let fields = [ ("op", Json.Str r.op) ] in
+  let fields =
+    match r.id with
+    | Some id -> ("id", Json.Num (float_of_int id)) :: fields
+    | None -> fields
+  in
+  let fields =
+    fields
+    @ (match r.deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Num (float_of_int ms)) ]
+      | None -> [])
+    @ [ ("params", r.params) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let int_member ~what j =
+  match j with
+  | Json.Num v when Float.is_integer v && Float.abs v < 1e15 ->
+    Ok (int_of_float v)
+  | _ -> Error (Printf.sprintf "%s must be an integral number" what)
+
+let parse_request s =
+  match Json.of_string ~max_depth ~max_string s with
+  | Error e -> Error e
+  | Ok (Json.Obj _ as doc) -> (
+    let ( let* ) = Result.bind in
+    let* op =
+      match Json.member "op" doc with
+      | Some (Json.Str op) -> Ok op
+      | Some _ -> Error "\"op\" must be a string"
+      | None -> Error "missing \"op\""
+    in
+    let* id =
+      match Json.member "id" doc with
+      | None -> Ok None
+      | Some j -> Result.map Option.some (int_member ~what:"\"id\"" j)
+    in
+    let* deadline_ms =
+      match Json.member "deadline_ms" doc with
+      | None -> Ok None
+      | Some j -> (
+        match int_member ~what:"\"deadline_ms\"" j with
+        | Error _ as e -> e
+        | Ok ms when ms < 0 -> Error "\"deadline_ms\" must be >= 0"
+        | Ok ms -> Ok (Some ms))
+    in
+    let params =
+      match Json.member "params" doc with
+      | Some p -> p
+      | None -> Json.Obj []
+    in
+    Ok { id; op; deadline_ms; params })
+  | Ok _ -> Error "request must be a JSON object"
+
+let id_fields = function
+  | Some id -> [ ("id", Json.Num (float_of_int id)) ]
+  | None -> []
+
+let ok_reply ~id result =
+  Json.to_string
+    (Json.Obj (id_fields id @ [ ("status", Json.Str "ok"); ("result", result) ]))
+
+let error_reply ~id code msg =
+  Json.to_string
+    (Json.Obj
+       (id_fields id
+       @ [
+           ("status", Json.Str "error");
+           ( "error",
+             Json.Obj
+               [ ("code", Json.Str (code_name code)); ("message", Json.Str msg) ]
+           );
+         ]))
+
+type reply = {
+  reply_id : int option;
+  outcome : (Json.t, error_code * string) result;
+}
+
+let parse_reply s =
+  match Json.of_string ~max_depth ~max_string s with
+  | Error e -> Error e
+  | Ok doc -> (
+    let reply_id =
+      match Json.member "id" doc with
+      | Some (Json.Num v) when Float.is_integer v -> Some (int_of_float v)
+      | _ -> None
+    in
+    match Json.member "status" doc with
+    | Some (Json.Str "ok") -> (
+      match Json.member "result" doc with
+      | Some result -> Ok { reply_id; outcome = Ok result }
+      | None -> Error "ok reply without \"result\"")
+    | Some (Json.Str "error") -> (
+      match Json.member "error" doc with
+      | Some err ->
+        let code =
+          match Json.member "code" err with
+          | Some (Json.Str c) ->
+            Option.value (code_of_name c) ~default:Internal
+          | _ -> Internal
+        in
+        let msg =
+          match Json.member "message" err with
+          | Some (Json.Str m) -> m
+          | _ -> "unknown error"
+        in
+        Ok { reply_id; outcome = Error (code, msg) }
+      | None -> Error "error reply without \"error\"")
+    | _ -> Error "reply without a valid \"status\"")

@@ -96,11 +96,12 @@ let observe_replica m =
    streamed or materialized — walks that shared plan: the tables are
    immutable, so sharing across Parallel's domains is safe, and the
    compile cost is paid once instead of per replica. *)
-let replica_runner ?wrong_path_locality ~stream ~compile ?reduction
-    ?target_length cfg p =
+let replica_runner ?(check = fun () -> ()) ?wrong_path_locality ~stream
+    ~compile ?reduction ?target_length cfg p =
   if compile then begin
     let plan = Kernel.Compile.plan ?reduction ?target_length p in
     fun seed ->
+      check ();
       Telemetry.time span_replica (fun () ->
           observe_replica
             (if stream then
@@ -111,6 +112,7 @@ let replica_runner ?wrong_path_locality ~stream ~compile ?reduction
   end
   else
     fun seed ->
+      check ();
       Telemetry.time span_replica (fun () ->
           observe_replica
             (if stream then
@@ -121,11 +123,12 @@ let replica_runner ?wrong_path_locality ~stream ~compile ?reduction
                  (Generate.generate ~compile:false ?reduction ?target_length p
                     ~seed)))
 
-let run ?(jobs = 1) ?(stream = false) ?(compile = true) ?wrong_path_locality
-    ?reduction ?target_length cfg p ~master_seed ~replicas =
+let run ?(jobs = 1) ?(stream = false) ?(compile = true) ?check
+    ?wrong_path_locality ?reduction ?target_length cfg p ~master_seed
+    ~replicas =
   let seeds = split_seeds ~master_seed ~n:replicas in
   let replica =
-    replica_runner ?wrong_path_locality ~stream ~compile ?reduction
+    replica_runner ?check ?wrong_path_locality ~stream ~compile ?reduction
       ?target_length cfg p
   in
   let metrics = Parallel.map ~jobs replica seeds in
@@ -137,7 +140,7 @@ let converged ~ci_target r =
      of the mean IPC *)
   r.ipc.ci95 <= ci_target /. 100.0 *. Float.abs r.ipc.mean
 
-let run_ci ?(jobs = 1) ?(stream = false) ?(compile = true)
+let run_ci ?(jobs = 1) ?(stream = false) ?(compile = true) ?check
     ?wrong_path_locality ?reduction ?target_length ?(min_replicas = 4)
     ?(max_replicas = 64) cfg p ~master_seed ~ci_target =
   if ci_target <= 0.0 then
@@ -148,7 +151,7 @@ let run_ci ?(jobs = 1) ?(stream = false) ?(compile = true)
     invalid_arg "Replicate.run_ci: max_replicas < min_replicas";
   let all_seeds = split_seeds ~master_seed ~n:max_replicas in
   let replica =
-    replica_runner ?wrong_path_locality ~stream ~compile ?reduction
+    replica_runner ?check ?wrong_path_locality ~stream ~compile ?reduction
       ?target_length cfg p
   in
   let simulate seeds = Parallel.map ~jobs replica seeds in

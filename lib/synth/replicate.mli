@@ -41,6 +41,7 @@ val run :
   ?jobs:int ->
   ?stream:bool ->
   ?compile:bool ->
+  ?check:(unit -> unit) ->
   ?wrong_path_locality:bool ->
   ?reduction:int ->
   ?target_length:int ->
@@ -55,12 +56,19 @@ val run :
     is lowered to a {!Kernel.Plan.t} once and shared — immutably, so
     domain-safe — by all replicas; [~compile:false] interprets the SFG
     directly. [jobs] only distributes the work; it never changes the
-    result. *)
+    result.
+
+    [check] is the cooperative cancellation point: it runs at every
+    replica boundary, on whichever domain executes that replica, before
+    the replica's simulation starts. Raising from it aborts the whole
+    replication with that exception (the server's deadline and
+    client-disconnect hook); the default does nothing. *)
 
 val run_ci :
   ?jobs:int ->
   ?stream:bool ->
   ?compile:bool ->
+  ?check:(unit -> unit) ->
   ?wrong_path_locality:bool ->
   ?reduction:int ->
   ?target_length:int ->

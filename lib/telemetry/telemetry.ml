@@ -66,7 +66,11 @@ module Json = struct
 
   exception Bad of int * string
 
-  let of_string s =
+  (* Numeric literals have no legitimate reason to approach this; the
+     cap stops float_of_string from chewing on megabyte "numbers". *)
+  let max_number_chars = 512
+
+  let of_string ?(max_depth = 1000) ?(max_string = 1 lsl 24) s =
     let n = String.length s in
     let pos = ref 0 in
     let fail msg = raise (Bad (!pos, msg)) in
@@ -96,6 +100,8 @@ module Json = struct
       expect '"';
       let buf = Buffer.create 16 in
       let rec go () =
+        if Buffer.length buf > max_string then
+          fail (Printf.sprintf "string longer than %d bytes" max_string);
         if !pos >= n then fail "unterminated string";
         let c = s.[!pos] in
         advance ();
@@ -149,16 +155,20 @@ module Json = struct
       while !pos < n && num_char s.[!pos] do
         advance ()
       done;
+      if !pos - start > max_number_chars then
+        fail (Printf.sprintf "number longer than %d chars" max_number_chars);
       match float_of_string_opt (String.sub s start (!pos - start)) with
       | Some v -> Num v
       | None -> fail "bad number"
     in
-    let rec parse_value () =
+    let rec parse_value depth =
       skip_ws ();
       match peek () with
       | None -> fail "unexpected end of input"
       | Some '"' -> Str (parse_string ())
       | Some '{' ->
+        if depth >= max_depth then
+          fail (Printf.sprintf "nesting deeper than %d" max_depth);
         advance ();
         skip_ws ();
         if peek () = Some '}' then begin
@@ -171,7 +181,7 @@ module Json = struct
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -185,6 +195,8 @@ module Json = struct
           Obj (members [])
         end
       | Some '[' ->
+        if depth >= max_depth then
+          fail (Printf.sprintf "nesting deeper than %d" max_depth);
         advance ();
         skip_ws ();
         if peek () = Some ']' then begin
@@ -193,7 +205,7 @@ module Json = struct
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -212,7 +224,7 @@ module Json = struct
       | Some _ -> parse_number ()
     in
     match
-      let v = parse_value () in
+      let v = parse_value 0 in
       skip_ws ();
       if !pos <> n then fail "trailing input";
       v

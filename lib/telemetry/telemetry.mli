@@ -30,12 +30,21 @@ module Json : sig
   (** Compact render. Integral floats print without a fractional part;
       non-finite numbers print as [null]. *)
 
-  val of_string : string -> (t, string) result
+  val of_string :
+    ?max_depth:int -> ?max_string:int -> string -> (t, string) result
   (** Parse a complete JSON document ([Error] carries an offset-tagged
       message). Numbers become [Num]; the standard string escapes
       (quote, backslash, slash, b, f, n, r, t, uXXXX) are decoded, with
       code points truncated to one byte — this reader targets the ASCII
-      documents this library itself emits. *)
+      documents this library itself emits.
+
+      The reader also accepts adversarial input (the server feeds it
+      raw socket payloads): nesting deeper than [max_depth] (default
+      1000), any single decoded string longer than [max_string] bytes
+      (default 16 MiB), and numeric literals longer than 512 characters
+      are all rejected with an offset-tagged [Error] instead of blowing
+      the stack or the heap; truncated documents report the offset at
+      which input ran out. *)
 
   val member : string -> t -> t option
   (** [member k (Obj kvs)] is the value bound to [k], if any. *)

@@ -31,5 +31,6 @@ let () =
       ("dse", Test_dse.suite);
       ("gate", Test_gate.suite);
       ("telemetry", Test_telemetry.suite);
+      ("server", Test_server.suite);
       ("misc", Test_misc.suite);
     ]

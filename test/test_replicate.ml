@@ -183,6 +183,39 @@ let test_render_text () =
   check "lists stall causes" true (contains "lsq_full");
   check "no NaNs" true (not (contains "nan"))
 
+(* the cooperative-cancellation hook fires once per replica, and a
+   raising hook aborts the whole replication *)
+let test_check_hook () =
+  let p = Lazy.force shared_p in
+  let calls = Atomic.make 0 in
+  let r =
+    Synth.Replicate.run
+      ~check:(fun () -> Atomic.incr calls)
+      ~jobs:2 ~stream:true ~target_length:1_500 cfg p ~master_seed:3
+      ~replicas:4
+  in
+  Alcotest.(check int) "one call per replica" 4 (Atomic.get calls);
+  Alcotest.(check int) "all replicas ran" 4 (Synth.Replicate.replicas r);
+  let exception Abort in
+  (match
+     Synth.Replicate.run
+       ~check:(fun () -> raise Abort)
+       ~jobs:1 ~stream:true ~target_length:1_500 cfg p ~master_seed:3
+       ~replicas:4
+   with
+  | _ -> Alcotest.fail "raising check did not abort"
+  | exception Abort -> ());
+  (* the hook threads through the adaptive mode too *)
+  let calls_ci = Atomic.make 0 in
+  let r =
+    Synth.Replicate.run_ci
+      ~check:(fun () -> Atomic.incr calls_ci)
+      ~jobs:1 ~stream:true ~target_length:1_500 ~min_replicas:3
+      ~max_replicas:4 cfg p ~master_seed:5 ~ci_target:500.0
+  in
+  Alcotest.(check int) "ci mode calls per replica"
+    (Synth.Replicate.replicas r) (Atomic.get calls_ci)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_stream_equals_materialized;
@@ -191,5 +224,6 @@ let suite =
     Alcotest.test_case "jobs-independent report" `Quick test_jobs_independent;
     Alcotest.test_case "aggregate statistics" `Quick test_aggregate_statistics;
     Alcotest.test_case "adaptive CI mode" `Quick test_run_ci;
+    Alcotest.test_case "cooperative check hook" `Quick test_check_hook;
     Alcotest.test_case "text rendering" `Quick test_render_text;
   ]

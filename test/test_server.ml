@@ -1,0 +1,382 @@
+(* statsim serve subsystem: wire framing, protocol validation, and a
+   live daemon driven over a Unix socket — shared hot cache under
+   concurrent clients, deadlines, overload shedding, and survival of
+   vanished or hostile clients. *)
+
+let check = Alcotest.(check bool)
+
+module Frame = Server.Frame
+module Protocol = Server.Protocol
+module Json = Telemetry.Json
+
+(* --- framing --- *)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame encode/decode roundtrip"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 2048) QCheck.Gen.char)
+    (fun payload -> Frame.decode (Frame.encode payload) = Ok payload)
+
+let expect_reject name s =
+  match Frame.decode s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: frame accepted" name
+
+let test_frame_rejections () =
+  let payload = "hello, frame" in
+  let f = Frame.encode payload in
+  Alcotest.(check int) "frame length" (Frame.header_len + String.length payload)
+    (String.length f);
+  expect_reject "short header" (String.sub f 0 (Frame.header_len - 1));
+  let corrupt i c =
+    let b = Bytes.of_string f in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  expect_reject "bad magic" (corrupt 0 'X');
+  expect_reject "bad version" (corrupt 4 '\002');
+  expect_reject "flipped payload byte (digest)"
+    (corrupt Frame.header_len 'Z');
+  expect_reject "truncated payload" (String.sub f 0 (String.length f - 1));
+  expect_reject "trailing junk" (f ^ "x");
+  (match Frame.decode ~max_payload:4 f with
+  | Error msg -> check "oversize names the bound" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "oversize frame accepted");
+  (* the bound applies to the declaration, independent of the bytes *)
+  check "exact bound accepted" true
+    (Frame.decode ~max_payload:(String.length payload) f = Ok payload)
+
+(* --- protocol --- *)
+
+let test_request_roundtrip () =
+  let req =
+    {
+      Protocol.id = Some 7;
+      op = "simulate";
+      deadline_ms = Some 250;
+      params = Json.Obj [ ("bench", Json.Str "gcc") ];
+    }
+  in
+  (match Protocol.parse_request (Protocol.request_to_string req) with
+  | Ok r ->
+    check "id" true (r.Protocol.id = Some 7);
+    Alcotest.(check string) "op" "simulate" r.Protocol.op;
+    check "deadline" true (r.Protocol.deadline_ms = Some 250);
+    check "params" true
+      (Json.member "bench" r.Protocol.params = Some (Json.Str "gcc"))
+  | Error e -> Alcotest.failf "roundtrip rejected: %s" e);
+  (* optional fields default *)
+  match Protocol.parse_request {|{"op":"ping"}|} with
+  | Ok r ->
+    check "no id" true (r.Protocol.id = None);
+    check "no deadline" true (r.Protocol.deadline_ms = None);
+    check "empty params" true (r.Protocol.params = Json.Obj [])
+  | Error e -> Alcotest.failf "minimal request rejected: %s" e
+
+let test_request_validation () =
+  List.iter
+    (fun s ->
+      match Protocol.parse_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" s)
+    [
+      "[]" (* top level must be an object *);
+      "{}" (* op required *);
+      {|{"op":1}|};
+      {|{"op":"x","id":1.5}|};
+      {|{"op":"x","deadline_ms":-1}|};
+      "not json at all";
+    ]
+
+let test_reply_parsing () =
+  (match
+     Protocol.parse_reply
+       (Protocol.ok_reply ~id:(Some 3) (Json.Obj [ ("pong", Json.Bool true) ]))
+   with
+  | Ok r ->
+    check "id echoed" true (r.Protocol.reply_id = Some 3);
+    (match r.Protocol.outcome with
+    | Ok result -> check "result" true
+        (Json.member "pong" result = Some (Json.Bool true))
+    | Error _ -> Alcotest.fail "ok reply parsed as error")
+  | Error e -> Alcotest.failf "ok reply rejected: %s" e);
+  (match
+     Protocol.parse_reply (Protocol.error_reply ~id:None Protocol.Overloaded "busy")
+   with
+  | Ok { Protocol.outcome = Error (Protocol.Overloaded, "busy"); _ } -> ()
+  | _ -> Alcotest.fail "error reply did not parse back");
+  (* unknown error codes degrade to Internal, not a parse failure *)
+  match
+    Protocol.parse_reply
+      {|{"id":null,"status":"error","error":{"code":"from_the_future","message":"m"}}|}
+  with
+  | Ok { Protocol.outcome = Error (Protocol.Internal, "m"); _ } -> ()
+  | _ -> Alcotest.fail "unknown code should map to internal"
+
+(* --- live daemon --- *)
+
+let counter = ref 0
+
+(* each server gets its own socket and its own empty store root, so
+   cache counters are exact whatever the ambient REPRO_CACHE_DIR is *)
+let with_server ?(workers = 2) ?(queue_depth = 64) f =
+  incr counter;
+  let stamp = Printf.sprintf "statsim-test-%d-%d" (Unix.getpid ()) !counter in
+  let sock = Filename.concat (Filename.get_temp_dir_name ()) (stamp ^ ".sock") in
+  let root = Filename.temp_file stamp "" in
+  Sys.remove root;
+  let cfg =
+    {
+      (Server.Daemon.default_config ~socket_path:sock) with
+      Server.Daemon.workers;
+      queue_depth;
+      cache_dir = Some root;
+    }
+  in
+  let t = Server.Daemon.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Daemon.stop t;
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () -> f sock t)
+
+let result_of name = function
+  | Ok { Protocol.outcome = Ok result; _ } -> result
+  | Ok { Protocol.outcome = Error (code, msg); _ } ->
+    Alcotest.failf "%s: error reply %s: %s" name (Protocol.code_name code) msg
+  | Error e -> Alcotest.failf "%s: transport error: %s" name e
+
+let stat_field result name =
+  match Json.member name result with
+  | Some (Json.Num v) -> int_of_float v
+  | _ -> Alcotest.failf "cache-stats missing %s" name
+
+let test_ping_and_cache_stats () =
+  with_server (fun sock _t ->
+      let r = result_of "ping" (Server.Client.oneshot ~socket:sock ~op:"ping" (Json.Obj [])) in
+      check "pong" true (Json.member "pong" r = Some (Json.Bool true));
+      Alcotest.(check string) "ping output" "pong\n" (Server.Ops.output r);
+      let s =
+        result_of "cache-stats"
+          (Server.Client.oneshot ~socket:sock ~op:"cache-stats" (Json.Obj []))
+      in
+      Alcotest.(check int) "cold cache" 0 (stat_field s "profile_computes"))
+
+let sim_params =
+  Json.Obj
+    [
+      ("bench", Json.Str "gcc");
+      ("length", Json.Num 4000.0);
+      ("synthetic", Json.Num 600.0);
+    ]
+
+(* acceptance: N parallel simulate requests against one cold server
+   produce byte-identical outputs to an in-process dispatch, and the
+   shared single-flight cache collects the profile / compiles the plan /
+   simulates the EDS reference exactly once *)
+let test_concurrent_simulate_shared_cache () =
+  let expected =
+    let env =
+      { Server.Ops.cache = Runner.Cache.create (); jobs = 1;
+        check = (fun () -> ()) }
+    in
+    match Server.Ops.dispatch env ~op:"simulate" sim_params with
+    | Ok r -> Server.Ops.output r
+    | Error e -> Alcotest.failf "reference dispatch failed: %s" e
+  in
+  check "reference output nonempty" true (String.length expected > 0);
+  with_server ~workers:4 (fun sock _t ->
+      let n = 6 in
+      let outputs = Array.make n "" in
+      let threads =
+        Array.init n (fun i ->
+            Thread.create
+              (fun () ->
+                let r =
+                  result_of "simulate"
+                    (Server.Client.oneshot ~socket:sock ~op:"simulate" sim_params)
+                in
+                outputs.(i) <- Server.Ops.output r)
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i out ->
+          Alcotest.(check string)
+            (Printf.sprintf "client %d byte-identical" i)
+            expected out)
+        outputs;
+      let s =
+        result_of "cache-stats"
+          (Server.Client.oneshot ~socket:sock ~op:"cache-stats" (Json.Obj []))
+      in
+      Alcotest.(check int) "profile_computes" 1 (stat_field s "profile_computes");
+      Alcotest.(check int) "plan_computes" 1 (stat_field s "plan_computes");
+      Alcotest.(check int) "reference_computes" 1
+        (stat_field s "reference_computes"))
+
+let test_deadline_exceeded () =
+  with_server (fun sock _t ->
+      match
+        Server.Client.oneshot ~socket:sock ~deadline_ms:0 ~op:"simulate"
+          sim_params
+      with
+      | Ok { Protocol.outcome = Error (Protocol.Deadline_exceeded, _); _ } -> ()
+      | Ok _ -> Alcotest.fail "expected deadline_exceeded"
+      | Error e -> Alcotest.failf "transport error: %s" e)
+
+(* one worker, queue depth one: pipelining three slow requests must shed
+   at least one with a structured overloaded reply, never hang *)
+let test_overload_shedding () =
+  with_server ~workers:1 ~queue_depth:1 (fun sock t ->
+      let c = Server.Client.connect ~socket:sock in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let sleep_params = Json.Obj [ ("ms", Json.Num 400.0) ] in
+          for i = 1 to 3 do
+            match Server.Client.send c ~id:i ~op:"sleep" sleep_params with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "send %d failed: %s" i e
+          done;
+          let outcomes =
+            List.init 3 (fun _ ->
+                match Server.Client.recv c with
+                | Ok r -> r.Protocol.outcome
+                | Error e -> Alcotest.failf "recv failed: %s" e)
+          in
+          let shed =
+            List.length
+              (List.filter
+                 (function Error (Protocol.Overloaded, _) -> true | _ -> false)
+                 outcomes)
+          in
+          let ok = List.length (List.filter Result.is_ok outcomes) in
+          check "at least one shed" true (shed >= 1);
+          check "at least one served" true (ok >= 1);
+          Alcotest.(check int) "every request answered" 3 (shed + ok);
+          check "daemon counted the shed" true
+            ((Server.Daemon.stats t).Server.Daemon.shed >= 1);
+          (* the daemon is still healthy afterwards *)
+          let r = result_of "ping after overload"
+              (Server.Client.call c ~op:"ping" (Json.Obj [])) in
+          check "pong after overload" true
+            (Json.member "pong" r = Some (Json.Bool true))))
+
+(* a client that vanishes mid-request: its job is cancelled at the next
+   cooperative point instead of holding a worker for the full sleep *)
+let test_disconnect_cancels_inflight () =
+  let t0 = Unix.gettimeofday () in
+  with_server ~workers:1 (fun sock t ->
+      let c = Server.Client.connect ~socket:sock in
+      (match Server.Client.send c ~op:"sleep" (Json.Obj [ ("ms", Json.Num 8000.0) ]) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send failed: %s" e);
+      (* give the worker time to start the sleep, then vanish *)
+      Unix.sleepf 0.1;
+      Server.Client.close c;
+      (* the lone worker frees up long before 8s *)
+      let r = result_of "ping after disconnect"
+          (Server.Client.oneshot ~socket:sock ~op:"ping" (Json.Obj [])) in
+      check "pong after disconnect" true
+        (Json.member "pong" r = Some (Json.Bool true));
+      ignore t);
+  check "cancellation kept it fast" true (Unix.gettimeofday () -. t0 < 6.0)
+
+(* a client that sends a request and closes without reading the reply:
+   the worker's write hits EPIPE/ECONNRESET and the daemon keeps serving *)
+let test_client_killed_mid_response () =
+  with_server (fun sock _t ->
+      for _ = 1 to 3 do
+        let c = Server.Client.connect ~socket:sock in
+        (match Server.Client.send c ~op:"ping" (Json.Obj []) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "send failed: %s" e);
+        Server.Client.close c
+      done;
+      Unix.sleepf 0.2;
+      let r = result_of "ping after dead clients"
+          (Server.Client.oneshot ~socket:sock ~op:"ping" (Json.Obj [])) in
+      check "still serving" true (Json.member "pong" r = Some (Json.Bool true)))
+
+(* hostile bytes: a non-frame greeting gets a bad_request reply and a
+   hang-up; malformed JSON in a well-formed frame gets a bad_request
+   and the connection stays usable; the daemon never dies *)
+let test_malformed_input () =
+  with_server (fun sock t ->
+      let raw () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        fd
+      in
+      (* desynced stream *)
+      let fd = raw () in
+      let junk = "GET / HTTP/1.1\r\n\r\n padding padding" in
+      ignore (Unix.write_substring fd junk 0 (String.length junk));
+      (match Frame.read fd with
+      | Ok payload -> (
+        match Protocol.parse_reply payload with
+        | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
+        | _ -> Alcotest.fail "junk should answer bad_request")
+      | Error _ -> Alcotest.fail "no reply to junk");
+      (* and then the server hangs up *)
+      check "desynced conn closed" true (Frame.read fd = Error Frame.Closed);
+      Unix.close fd;
+      (* sound frame, broken JSON: answered, connection kept *)
+      let fd = raw () in
+      (match Frame.write fd (Frame.encode "{ not json") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "frame write failed: %s" e);
+      (match Frame.read fd with
+      | Ok payload -> (
+        match Protocol.parse_reply payload with
+        | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
+        | _ -> Alcotest.fail "bad JSON should answer bad_request")
+      | Error _ -> Alcotest.fail "no reply to bad JSON");
+      (match
+         Frame.write fd
+           (Frame.encode
+              (Protocol.request_to_string
+                 { Protocol.id = None; op = "ping"; deadline_ms = None;
+                   params = Json.Obj [] }))
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "ping after bad JSON failed: %s" e);
+      (match Frame.read fd with
+      | Ok payload -> (
+        match Protocol.parse_reply payload with
+        | Ok { Protocol.outcome = Ok _; _ } -> ()
+        | _ -> Alcotest.fail "conn unusable after bad JSON")
+      | Error _ -> Alcotest.fail "no pong after bad JSON");
+      Unix.close fd;
+      check "malformed counted" true
+        ((Server.Daemon.stats t).Server.Daemon.malformed >= 2))
+
+let test_unknown_op () =
+  with_server (fun sock _t ->
+      match Server.Client.oneshot ~socket:sock ~op:"frobnicate" (Json.Obj []) with
+      | Ok { Protocol.outcome = Error (Protocol.Bad_request, msg); _ } ->
+        check "names the op" true
+          (String.length msg > 0
+          && String.sub msg 0 10 = "unknown op")
+      | _ -> Alcotest.fail "unknown op should answer bad_request")
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+    Alcotest.test_case "frame rejections" `Quick test_frame_rejections;
+    Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request validation" `Quick test_request_validation;
+    Alcotest.test_case "reply parsing" `Quick test_reply_parsing;
+    Alcotest.test_case "ping and cache-stats" `Quick test_ping_and_cache_stats;
+    Alcotest.test_case "concurrent simulate, shared cache" `Quick
+      test_concurrent_simulate_shared_cache;
+    Alcotest.test_case "deadline exceeded" `Quick test_deadline_exceeded;
+    Alcotest.test_case "overload shedding" `Quick test_overload_shedding;
+    Alcotest.test_case "disconnect cancels in-flight work" `Quick
+      test_disconnect_cancels_inflight;
+    Alcotest.test_case "client killed mid-response" `Quick
+      test_client_killed_mid_response;
+    Alcotest.test_case "malformed input" `Quick test_malformed_input;
+    Alcotest.test_case "unknown op" `Quick test_unknown_op;
+  ]

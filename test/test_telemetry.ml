@@ -315,6 +315,35 @@ let test_json_parse_errors () =
     (fun s -> Alcotest.(check bool) ("rejects " ^ s) true (is_error s))
     [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "12 34"; "nul" ]
 
+(* adversarial input: resource bombs are rejected with a clear error
+   instead of exhausting the stack or the heap *)
+let test_json_adversarial () =
+  let open Telemetry.Json in
+  let err ?max_depth ?max_string name s =
+    match of_string ?max_depth ?max_string s with
+    | Error msg ->
+      Alcotest.(check bool) (name ^ " has a message") true
+        (String.length msg > 0)
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  let nest n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  err ~max_depth:16 "nesting bomb" (nest 64);
+  err ~max_depth:16 "object nesting bomb"
+    (String.concat "" (List.init 32 (fun _ -> {|{"a":|}) @ [ "1" ]
+    @ List.init 32 (fun _ -> "}")));
+  Alcotest.(check bool) "within depth bound parses" true
+    (match of_string ~max_depth:16 (nest 8) with Ok _ -> true | _ -> false);
+  err ~max_string:32 "string bomb"
+    (Printf.sprintf "%S" (String.make 4096 'x'));
+  Alcotest.(check bool) "short string under tight bound parses" true
+    (of_string ~max_string:32 {|"ok"|} = Ok (Str "ok"));
+  err "number bomb" ("1" ^ String.make 600 '0');
+  err "truncated object" {|{"a":|};
+  err "truncated array" "[1,2,";
+  (* defaults still accept ordinary nested documents *)
+  Alcotest.(check bool) "defaults unchanged" true
+    (match of_string {|{"a":[1,{"b":"c"}]}|} with Ok _ -> true | _ -> false)
+
 let prop_json_string_roundtrip =
   QCheck.Test.make ~count:200 ~name:"json string roundtrip"
     QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
@@ -351,5 +380,7 @@ let suite =
       test_json_parse_document;
     Alcotest.test_case "Json.of_string rejects malformed input" `Quick
       test_json_parse_errors;
+    Alcotest.test_case "Json.of_string resists adversarial input" `Quick
+      test_json_adversarial;
     QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
   ]
