@@ -545,22 +545,26 @@ let summary_json ts =
       ("serve", Obj !serve_results);
       (* distribution instruments (dependency distances, redirect run
          lengths, pipeline occupancies): totals and means only — the
-         full bucket vectors live in the telemetry snapshot *)
+         full bucket vectors live in the telemetry snapshot. Registered
+         histograms that never fired this invocation are elided: a
+         count-0 entry says nothing and would churn baseline diffs as
+         instruments come and go. *)
       ( "histograms",
         Obj
-          (List.map
+          (List.filter_map
              (fun (h : Telemetry.histogram_stat) ->
-               ( h.Telemetry.hist_name,
-                 Obj
-                   [
-                     ("count", Num (float_of_int h.Telemetry.count));
-                     ( "mean",
-                       Num
-                         (if h.Telemetry.count = 0 then 0.0
-                          else
-                            float_of_int h.Telemetry.sum
-                            /. float_of_int h.Telemetry.count) );
-                   ] ))
+               if h.Telemetry.count = 0 then None
+               else
+                 Some
+                   ( h.Telemetry.hist_name,
+                     Obj
+                       [
+                         ("count", Num (float_of_int h.Telemetry.count));
+                         ( "mean",
+                           Num
+                             (float_of_int h.Telemetry.sum
+                             /. float_of_int h.Telemetry.count) );
+                       ] ))
              snap.Telemetry.histograms) );
       ( "cache",
         Obj

@@ -625,7 +625,8 @@ let socket_arg =
     value & opt string "./statsim.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run socket tcp_port workers queue jobs cache_dir max_frame telemetry =
+  let run socket tcp_port workers queue jobs cache_dir max_frame telemetry
+      no_obs access_log log_sample =
     if telemetry then Telemetry.set_enabled true;
     let cfg =
       {
@@ -636,6 +637,9 @@ let serve_cmd =
         jobs = Option.value jobs ~default:1;
         cache_dir;
         max_frame;
+        obs = not no_obs;
+        access_log;
+        log_sample;
       }
     in
     match Server.Daemon.serve cfg with
@@ -673,6 +677,29 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "telemetry" ] ~doc)
   in
+  let no_obs_arg =
+    let doc =
+      "Disable the serve observability plane (per-op rolling p50/p95/p99 \
+       windows, deadline-miss and shed ratios, in-flight gauge — the \
+       $(b,metrics) op). On by default; disabled, every hook is a single \
+       atomic flag read."
+    in
+    Arg.(value & flag & info [ "no-obs" ] ~doc)
+  in
+  let access_log_arg =
+    let doc =
+      "Append one JSON line per request (id, op, outcome, queue_ns, \
+       service_ns, bytes, traced) to $(docv); flushed on SIGTERM drain."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH" ~doc)
+  in
+  let log_sample_arg =
+    let doc = "Keep every $(docv)-th access-log line (1 = keep all)." in
+    Arg.(value & opt int 1 & info [ "log-sample" ] ~docv:"N" ~doc)
+  in
   let doc =
     "run the simulation-as-a-service daemon: all clients share one hot \
      profile/plan/EDS cache; SIGTERM/SIGINT drain gracefully"
@@ -680,10 +707,33 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_port_arg $ workers_arg $ queue_arg
-      $ jobs_arg $ cache_dir_arg $ max_frame_arg $ telemetry_arg)
+      $ jobs_arg $ cache_dir_arg $ max_frame_arg $ telemetry_arg $ no_obs_arg
+      $ access_log_arg $ log_sample_arg)
+
+(* client / top shared: connect over the Unix socket or --tcp HOST:PORT *)
+let connect_service ~socket ~tcp =
+  match tcp with
+  | None -> Server.Client.connect ~socket
+  | Some hp -> (
+    match String.rindex_opt hp ':' with
+    | Some i ->
+      let host = String.sub hp 0 i in
+      let port =
+        match
+          int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1))
+        with
+        | Some p -> p
+        | None -> failwith ("bad --tcp " ^ hp)
+      in
+      Server.Client.connect_tcp ~host ~port
+    | None -> failwith ("bad --tcp " ^ hp))
+
+let tcp_arg =
+  let doc = "Connect over TCP instead of the Unix socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
 
 let client_cmd =
-  let run socket tcp op params_str deadline_ms repeat parallel =
+  let run socket tcp op params_str deadline_ms repeat parallel raw =
     let params =
       match Telemetry.Json.of_string params_str with
       | Ok j -> j
@@ -691,22 +741,7 @@ let client_cmd =
         Printf.eprintf "bad --params: %s\n" e;
         exit 2
     in
-    let connect () =
-      match tcp with
-      | None -> Server.Client.connect ~socket
-      | Some hp -> (
-        match String.rindex_opt hp ':' with
-        | Some i ->
-          let host = String.sub hp 0 i in
-          let port =
-            match int_of_string_opt (String.sub hp (i + 1)
-                                       (String.length hp - i - 1)) with
-            | Some p -> p
-            | None -> failwith ("bad --tcp " ^ hp)
-          in
-          Server.Client.connect_tcp ~host ~port
-        | None -> failwith ("bad --tcp " ^ hp))
-    in
+    let connect () = connect_service ~socket ~tcp in
     (* one connection per worker thread, [repeat] calls on it; replies
        are printed after all joins, in worker order, so output is
        deterministic under --parallel *)
@@ -736,9 +771,11 @@ let client_cmd =
         Printf.eprintf "error %s: %s\n" (Server.Protocol.code_name code) msg;
         false
       | Ok result ->
-        (match Telemetry.Json.member "output" result with
-        | Some (Telemetry.Json.Str s) -> print_string s
-        | _ -> print_string (Telemetry.Json.to_string result ^ "\n"));
+        (if raw then print_string (Telemetry.Json.to_string result ^ "\n")
+         else
+           match Telemetry.Json.member "output" result with
+           | Some (Telemetry.Json.Str s) -> print_string s
+           | _ -> print_string (Telemetry.Json.to_string result ^ "\n"));
         List.iter
           (fun w -> Printf.eprintf "%s\n" w)
           (Server.Ops.warnings result);
@@ -779,11 +816,6 @@ let client_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
   in
-  let tcp_arg =
-    let doc = "Connect over TCP instead of the Unix socket." in
-    Arg.(
-      value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
-  in
   let params_arg =
     let doc = "Op parameters as a JSON object." in
     Arg.(value & opt string "{}" & info [ "params" ] ~docv:"JSON" ~doc)
@@ -807,11 +839,133 @@ let client_cmd =
     in
     Arg.(value & opt int 1 & info [ "parallel" ] ~docv:"N" ~doc)
   in
+  let raw_arg =
+    let doc =
+      "Print the full result object as JSON instead of the $(b,output) \
+       field — exposes structured members such as an opt-in request's \
+       $(b,trace) span tree."
+    in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
   let doc = "send one request to a running statsim serve daemon" in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ op_arg $ params_arg $ deadline_arg
-      $ repeat_arg $ parallel_arg)
+      $ repeat_arg $ parallel_arg $ raw_arg)
+
+let top_cmd =
+  let module Json = Telemetry.Json in
+  let num j k =
+    match Option.bind (Json.member k j) Json.to_num with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let render m =
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "statsim top — inflight %d, queue depth %d\n\n"
+      (int_of_float (num m "inflight"))
+      (int_of_float (num m "queue_depth"));
+    Printf.bprintf b "%-12s %8s %8s %6s | %8s %8s %9s %9s %9s %9s %6s %6s\n"
+      "OP" "REQS" "OK" "ERR" "1m REQS" "REQ/S" "P50 ms" "P95 ms" "P99 ms"
+      "QP95 ms" "MISS%" "SHED%";
+    (match Json.member "ops" m with
+    | Some (Json.Arr ops) ->
+      List.iter
+        (fun o ->
+          let op =
+            match Option.bind (Json.member "op" o) Json.to_str with
+            | Some s -> s
+            | None -> "?"
+          in
+          let requests = num o "requests" in
+          let ok =
+            match Json.member "outcomes" o with
+            | Some oc -> num oc "ok"
+            | None -> 0.0
+          in
+          let w1 =
+            match Json.member "windows" o with
+            | Some w -> Json.member "1m" w
+            | None -> None
+          in
+          let w1 = Option.value w1 ~default:(Json.Obj []) in
+          let w1_reqs = num w1 "requests" in
+          let service = Option.value (Json.member "service" w1)
+              ~default:(Json.Obj []) in
+          let queue = Option.value (Json.member "queue" w1)
+              ~default:(Json.Obj []) in
+          let ms ns = ns /. 1e6 in
+          Printf.bprintf b
+            "%-12s %8.0f %8.0f %6.0f | %8.0f %8.2f %9.3f %9.3f %9.3f %9.3f \
+             %6.2f %6.2f\n"
+            op requests ok (requests -. ok) w1_reqs (w1_reqs /. 60.0)
+            (ms (num service "p50_ns"))
+            (ms (num service "p95_ns"))
+            (ms (num service "p99_ns"))
+            (ms (num queue "p95_ns"))
+            (100.0 *. num w1 "deadline_miss_ratio")
+            (100.0 *. num w1 "shed_ratio"))
+        ops
+    | _ -> ());
+    Buffer.contents b
+  in
+  let run socket tcp interval count =
+    let once () =
+      match connect_service ~socket ~tcp with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message e))
+      | exception Failure m -> Error m
+      | c ->
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            match Server.Client.call c ~op:"metrics" (Json.Obj []) with
+            | Error e -> Error e
+            | Ok r -> (
+              match r.Server.Protocol.outcome with
+              | Error (code, msg) ->
+                Error
+                  (Printf.sprintf "error %s: %s"
+                     (Server.Protocol.code_name code) msg)
+              | Ok result -> (
+                match Json.member "metrics" result with
+                | Some m -> Ok m
+                | None -> Error "reply carries no metrics object")))
+    in
+    let rec loop i =
+      match once () with
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+      | Ok m ->
+        (* one-shot prints plainly; a refreshing session clears first *)
+        if count <> 1 then print_string "\027[2J\027[H";
+        print_string (render m);
+        flush stdout;
+        if count = 0 || i < count then begin
+          (try Unix.sleepf interval
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop (i + 1)
+        end
+    in
+    loop 1
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) polls (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "live per-op latency/throughput table for a running statsim serve \
+     daemon (polls the $(b,metrics) op)"
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ interval_arg $ count_arg)
 
 let list_cmd =
   let run () =
@@ -830,4 +984,4 @@ let () =
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; dse_cmd;
-         serve_cmd; client_cmd; cache_cmd; dot_cmd; list_cmd ]))
+         serve_cmd; client_cmd; top_cmd; cache_cmd; dot_cmd; list_cmd ]))

@@ -53,6 +53,20 @@ module Service = struct
     depth : int;
     mutable closed : bool;
     mutable domains : unit Domain.t list;
+    (* lock-free mirrors, readable without the mutex (observability) *)
+    queued : int Atomic.t;
+    running : int Atomic.t;
+    submitted : int Atomic.t;
+    rejected : int Atomic.t;
+    completed : int Atomic.t;
+  }
+
+  type stats = {
+    st_queued : int;
+    st_running : int;
+    st_submitted : int;
+    st_rejected : int;
+    st_completed : int;
   }
 
   let create ~workers ~queue_depth ~handler =
@@ -64,6 +78,11 @@ module Service = struct
         depth = max 1 queue_depth;
         closed = false;
         domains = [];
+        queued = Atomic.make 0;
+        running = Atomic.make 0;
+        submitted = Atomic.make 0;
+        rejected = Atomic.make 0;
+        completed = Atomic.make 0;
       }
     in
     let worker () =
@@ -82,7 +101,11 @@ module Service = struct
         match job with
         | None -> ()
         | Some job ->
+          ignore (Atomic.fetch_and_add t.queued (-1));
+          ignore (Atomic.fetch_and_add t.running 1);
           (try handler job with _ -> ());
+          ignore (Atomic.fetch_and_add t.running (-1));
+          ignore (Atomic.fetch_and_add t.completed 1);
           loop ()
       in
       loop ()
@@ -95,8 +118,11 @@ module Service = struct
     let accepted = (not t.closed) && Queue.length t.queue < t.depth in
     if accepted then begin
       Queue.push job t.queue;
+      ignore (Atomic.fetch_and_add t.queued 1);
+      ignore (Atomic.fetch_and_add t.submitted 1);
       Condition.signal t.nonempty
-    end;
+    end
+    else ignore (Atomic.fetch_and_add t.rejected 1);
     Mutex.unlock t.mutex;
     accepted
 
@@ -105,6 +131,15 @@ module Service = struct
     let n = Queue.length t.queue in
     Mutex.unlock t.mutex;
     n
+
+  let stats t =
+    {
+      st_queued = Atomic.get t.queued;
+      st_running = Atomic.get t.running;
+      st_submitted = Atomic.get t.submitted;
+      st_rejected = Atomic.get t.rejected;
+      st_completed = Atomic.get t.completed;
+    }
 
   let shutdown t =
     Mutex.lock t.mutex;

@@ -45,6 +45,20 @@ module Service : sig
   val pending : 'a t -> int
   (** Jobs admitted and still waiting for a worker. *)
 
+  type stats = {
+    st_queued : int;  (** admitted, not yet picked up *)
+    st_running : int;  (** currently inside [handler] *)
+    st_submitted : int;  (** accepted since creation *)
+    st_rejected : int;  (** bounced by a full queue since creation *)
+    st_completed : int;  (** handler returns (or swallowed raises) *)
+  }
+
+  val stats : 'a t -> stats
+  (** Lock-free snapshot from atomic mirrors — safe to call from a
+      metrics scrape without touching the queue mutex. Counts are each
+      individually exact but mutually unsynchronized (monitoring
+      grade). *)
+
   val shutdown : 'a t -> unit
   (** Graceful drain: stop admitting, let the workers finish every
       already-admitted job, then join them. Idempotent. *)

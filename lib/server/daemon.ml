@@ -6,6 +6,9 @@ type config = {
   jobs : int;
   cache_dir : string option;
   max_frame : int;
+  obs : bool;
+  access_log : string option;
+  log_sample : int;
 }
 
 let default_config ~socket_path =
@@ -17,11 +20,19 @@ let default_config ~socket_path =
     jobs = 1;
     cache_dir = None;
     max_frame = Frame.default_max_payload;
+    (* off by default: embedders (tests, the bench harness) opt in; the
+       CLI serve subcommand turns it on *)
+    obs = false;
+    access_log = None;
+    log_sample = 1;
   }
+
+module Json = Telemetry.Json
 
 (* --- telemetry instruments (mirrors of the exact atomic counters) --- *)
 
 let span_request = Telemetry.span "server.request"
+let span_reply_write = Telemetry.span "server.reply_write"
 let c_requests = Telemetry.counter "server.requests"
 let c_shed = Telemetry.counter "server.shed"
 let c_deadline = Telemetry.counter "server.deadline_exceeded"
@@ -45,6 +56,9 @@ type job = {
   conn : conn;
   req : Protocol.request;
   deadline : float option;  (** absolute, Unix.gettimeofday clock *)
+  trace : Telemetry.Trace.t option;
+      (** created at frame decode for ["trace": true] requests *)
+  enqueued_ns : int;  (** monotonic enqueue time; 0 when untimed *)
 }
 
 type stats = {
@@ -72,6 +86,7 @@ type t = {
   s_cancelled : int Atomic.t;
   s_malformed : int Atomic.t;
   s_client_gone : int Atomic.t;
+  alog : Obs.Access_log.t option;
 }
 
 let cache t = t.cache
@@ -95,7 +110,10 @@ let release conn =
 let send_reply t conn payload =
   if Atomic.get conn.alive then begin
     Mutex.lock conn.wmutex;
-    let r = Frame.write conn.fd (Frame.encode payload) in
+    let r =
+      Telemetry.time span_reply_write (fun () ->
+          Frame.write conn.fd (Frame.encode payload))
+    in
     Mutex.unlock conn.wmutex;
     match r with
     | Ok () -> ()
@@ -108,13 +126,59 @@ let send_reply t conn payload =
 
 (* --- request execution (worker domain) --- *)
 
+(* Account one finished (or dropped) request on every exit path:
+   optional reply, per-op SLO windows, access-log line. With the obs
+   plane disabled and the request untraced, the timing reads collapse
+   to zero-cost branches. *)
+let account t job ~outcome ~queue_ns ~dequeue_ns ~timed payload =
+  let service_ns =
+    if timed && dequeue_ns > 0 then max 0 (Telemetry.now_ns () - dequeue_ns)
+    else 0
+  in
+  (* account before replying: a client that has its reply in hand must
+     see its request already counted by an immediate metrics scrape *)
+  if Obs.enabled () then
+    Obs.record ~op:job.req.Protocol.op ~outcome ~queue_ns ~service_ns ();
+  (match t.alog with
+  | Some log ->
+    Obs.Access_log.record log ~id:job.req.Protocol.id
+      ~op:job.req.Protocol.op ~outcome ~queue_ns ~service_ns
+      ~bytes:(match payload with Some p -> String.length p | None -> 0)
+      ~traced:(job.trace <> None)
+  | None -> ());
+  match payload with Some p -> send_reply t job.conn p | None -> ()
+
 let execute t job =
   Fun.protect
     ~finally:(fun () -> release job.conn)
     (fun () ->
+      let obs_on = Obs.enabled () in
+      let timed = obs_on || job.trace <> None in
+      let dequeue_ns = if timed then Telemetry.now_ns () else 0 in
+      let queue_ns =
+        if timed && job.enqueued_ns > 0 then
+          max 0 (dequeue_ns - job.enqueued_ns)
+        else 0
+      in
+      (match job.trace with
+      | Some tr when job.enqueued_ns > 0 ->
+        Telemetry.Trace.add tr "queue_wait" ~start_ns:job.enqueued_ns
+          ~dur_ns:queue_ns
+      | _ -> ());
+      if obs_on then begin
+        (match t.service with
+        | Some s -> Obs.set_queue_depth (Parallel.Service.stats s).st_queued
+        | None -> ());
+        Obs.incr_inflight ()
+      end;
+      let account ~outcome payload =
+        account t job ~outcome ~queue_ns ~dequeue_ns ~timed payload;
+        if obs_on then Obs.decr_inflight ()
+      in
       if not (Atomic.get job.conn.alive) then begin
         Atomic.incr t.s_cancelled;
-        Telemetry.incr c_cancelled
+        Telemetry.incr c_cancelled;
+        account ~outcome:(Obs.Err Protocol.Cancelled) None
       end
       else begin
         let expired () =
@@ -125,10 +189,12 @@ let execute t job =
         if expired () then begin
           Atomic.incr t.s_deadline;
           Telemetry.incr c_deadline;
-          send_reply t job.conn
-            (Protocol.error_reply ~id:job.req.Protocol.id
-               Protocol.Deadline_exceeded
-               "deadline expired before execution finished")
+          account
+            ~outcome:(Obs.Err Protocol.Deadline_exceeded)
+            (Some
+               (Protocol.error_reply ~id:job.req.Protocol.id
+                  Protocol.Deadline_exceeded
+                  "deadline expired before execution finished"))
         end
         else begin
           Telemetry.set_gauge g_active
@@ -138,7 +204,12 @@ let execute t job =
             if expired () then raise Ops.Deadline_exceeded
           in
           let env =
-            { Ops.cache = t.cache; jobs = t.cfg.jobs; check }
+            {
+              Ops.cache = t.cache;
+              jobs = t.cfg.jobs;
+              check;
+              trace = job.trace;
+            }
           in
           let id = job.req.Protocol.id in
           (match
@@ -146,24 +217,32 @@ let execute t job =
                  Ops.dispatch env ~op:job.req.Protocol.op
                    job.req.Protocol.params)
            with
-          | Ok result -> send_reply t job.conn (Protocol.ok_reply ~id result)
+          | Ok result ->
+            account ~outcome:Obs.Ok_reply
+              (Some (Protocol.ok_reply ~id result))
           | Error msg ->
-            send_reply t job.conn
-              (Protocol.error_reply ~id Protocol.Bad_request msg)
+            account
+              ~outcome:(Obs.Err Protocol.Bad_request)
+              (Some (Protocol.error_reply ~id Protocol.Bad_request msg))
           | exception Ops.Cancelled ->
             Atomic.incr t.s_cancelled;
-            Telemetry.incr c_cancelled
+            Telemetry.incr c_cancelled;
+            account ~outcome:(Obs.Err Protocol.Cancelled) None
           | exception Ops.Deadline_exceeded ->
             Atomic.incr t.s_deadline;
             Telemetry.incr c_deadline;
-            send_reply t job.conn
-              (Protocol.error_reply ~id Protocol.Deadline_exceeded
-                 "deadline expired during execution")
+            account
+              ~outcome:(Obs.Err Protocol.Deadline_exceeded)
+              (Some
+                 (Protocol.error_reply ~id Protocol.Deadline_exceeded
+                    "deadline expired during execution"))
           | exception exn ->
             (* an op blew up; the daemon must not *)
-            send_reply t job.conn
-              (Protocol.error_reply ~id Protocol.Internal
-                 (Printexc.to_string exn)));
+            account
+              ~outcome:(Obs.Err Protocol.Internal)
+              (Some
+                 (Protocol.error_reply ~id Protocol.Internal
+                    (Printexc.to_string exn))));
           Telemetry.set_gauge g_active
             (float_of_int (Atomic.fetch_and_add t.active (-1) - 1))
         end
@@ -183,6 +262,9 @@ let handle_conn t conn =
         (Protocol.error_reply ~id:None Protocol.Bad_request
            ("bad frame: " ^ msg))
     | Ok payload -> (
+      (* parse time is measured only while the obs plane is on (one
+         atomic read on the disabled path) *)
+      let pt0 = if Obs.enabled () then Telemetry.now_ns () else 0 in
       match Protocol.parse_request payload with
       | Error msg ->
         (* framing was sound, only this request is bad: keep serving *)
@@ -194,26 +276,58 @@ let handle_conn t conn =
       | Ok req ->
         Atomic.incr t.s_requests;
         Telemetry.incr c_requests;
+        (* the request-scoped trace is born here, at frame decode *)
+        let trace =
+          match Json.member "trace" req.Protocol.params with
+          | Some (Json.Bool true) ->
+            let id =
+              match req.Protocol.id with
+              | Some i -> string_of_int i
+              | None -> req.Protocol.op
+            in
+            let tr = Telemetry.Trace.create ~id () in
+            if pt0 > 0 then
+              Telemetry.Trace.add tr "parse" ~start_ns:pt0
+                ~dur_ns:(max 0 (Telemetry.now_ns () - pt0));
+            Some tr
+          | _ -> None
+        in
         let deadline =
           Option.map
             (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
             req.Protocol.deadline_ms
         in
+        let enqueued_ns =
+          if Obs.enabled () || trace <> None then Telemetry.now_ns () else 0
+        in
+        let job = { conn; req; deadline; trace; enqueued_ns } in
         retain conn;
         let admitted =
           (not (Atomic.get t.stop_flag))
           &&
           match t.service with
-          | Some service -> Parallel.Service.submit service { conn; req; deadline }
+          | Some service -> Parallel.Service.submit service job
           | None -> false
         in
         if not admitted then begin
           release conn;
           Atomic.incr t.s_shed;
           Telemetry.incr c_shed;
-          send_reply t conn
-            (Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
-               "admission queue full")
+          let reply =
+            Protocol.error_reply ~id:req.Protocol.id Protocol.Overloaded
+              "admission queue full"
+          in
+          if Obs.enabled () then
+            Obs.record ~op:req.Protocol.op
+              ~outcome:(Obs.Err Protocol.Overloaded) ~queue_ns:0 ~service_ns:0
+              ();
+          (match t.alog with
+          | Some log ->
+            Obs.Access_log.record log ~id:req.Protocol.id ~op:req.Protocol.op
+              ~outcome:(Obs.Err Protocol.Overloaded) ~queue_ns:0 ~service_ns:0
+              ~bytes:(String.length reply) ~traced:(trace <> None)
+          | None -> ());
+          send_reply t conn reply
         end;
         loop ())
   in
@@ -301,6 +415,7 @@ let accept_loop t =
 
 let start cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Obs.set_enabled cfg.obs;
   let ctx =
     Runner.Exec.create_ctx ~jobs:(max 1 cfg.jobs) ?cache_dir:cfg.cache_dir ()
   in
@@ -334,6 +449,10 @@ let start cfg =
       s_cancelled = Atomic.make 0;
       s_malformed = Atomic.make 0;
       s_client_gone = Atomic.make 0;
+      alog =
+        Option.map
+          (fun path -> Obs.Access_log.open_ ~path ~sample:cfg.log_sample)
+          cfg.access_log;
     }
   in
   t.service <-
@@ -366,7 +485,14 @@ let stop t =
         try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
         with Unix.Unix_error _ -> ())
       conns;
-    List.iter (fun (_, th) -> Thread.join th) conns
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    (* every admitted job has been executed and logged: flush the
+       access log so a SIGTERM'd daemon leaves well-formed lines *)
+    Option.iter
+      (fun log ->
+        Obs.Access_log.flush log;
+        Obs.Access_log.close log)
+      t.alog
   end
 
 let serve cfg =

@@ -33,11 +33,20 @@ type config = {
   cache_dir : string option;
       (** persistent store root; [None] falls back to [REPRO_CACHE_DIR] *)
   max_frame : int;  (** request payload size bound, bytes *)
+  obs : bool;
+      (** enable the {!Obs} plane (per-op SLO windows, in-flight and
+          queue gauges). Off, every hook in the request path is a
+          single atomic flag read. *)
+  access_log : string option;
+      (** structured JSON access-log path (append mode); flushed and
+          closed by {!stop}, i.e. on SIGTERM drain *)
+  log_sample : int;  (** keep every n-th access-log line (min 1) *)
 }
 
 val default_config : socket_path:string -> config
 (** No TCP listener, 2 workers, queue depth 64, [jobs = 1],
-    [cache_dir = None], [max_frame = Frame.default_max_payload]. *)
+    [cache_dir = None], [max_frame = Frame.default_max_payload],
+    observability off, no access log, [log_sample = 1]. *)
 
 type t
 

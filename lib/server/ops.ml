@@ -3,16 +3,33 @@ module Json = Telemetry.Json
 exception Cancelled
 exception Deadline_exceeded
 
-type env = { cache : Runner.Cache.t; jobs : int; check : unit -> unit }
+type env = {
+  cache : Runner.Cache.t;
+  jobs : int;
+  check : unit -> unit;
+  trace : Telemetry.Trace.t option;
+}
 
 let default_env ?jobs ?cache_dir ?(check = fun () -> ()) () =
   let ctx = Runner.Exec.create_ctx ?jobs ?cache_dir () in
-  { cache = ctx.Runner.Exec.cache; jobs = ctx.Runner.Exec.jobs; check }
+  {
+    cache = ctx.Runner.Exec.cache;
+    jobs = ctx.Runner.Exec.jobs;
+    check;
+    trace = None;
+  }
+
+(* Run a stage under a named child span of the request's trace; exactly
+   [f ()] for untraced requests. *)
+let tspan env name f =
+  match env.trace with
+  | None -> f ()
+  | Some tr -> Telemetry.Trace.span tr name f
 
 let op_names =
   [
     "ping"; "cache-stats"; "simulate"; "replicate"; "diag"; "experiment";
-    "dse"; "sleep";
+    "dse"; "sleep"; "telemetry"; "metrics";
   ]
 
 (* --- params decoding --- *)
@@ -80,6 +97,7 @@ let stream_key ~bench ~length = Printf.sprintf "int:%s:o0:n%d" bench length
 (* A profile either loaded from a file (with the CLI's -k mismatch
    warning) or collected through the shared cache. *)
 let collect_profile env ~warn cfg ~bench ~length ~k ~profile_file =
+  tspan env "cache.profile" @@ fun () ->
   match profile_file with
   | Some path ->
     let p = Profile.Serialize.load_file path in
@@ -139,9 +157,10 @@ let simulate env ~force_replicas params =
     let spec = find_spec bench in
     env.check ();
     let eds =
-      Runner.Cache.reference env.cache cfg
-        ~stream_key:(stream_key ~bench ~length) (fun () ->
-          Workload.Suite.stream spec ~length)
+      tspan env "cache.reference" (fun () ->
+          Runner.Cache.reference env.cache cfg
+            ~stream_key:(stream_key ~bench ~length) (fun () ->
+              Workload.Suite.stream spec ~length))
     in
     env.check ();
     let ss =
@@ -151,14 +170,23 @@ let simulate env ~force_replicas params =
         (* the cached plan samples bit-identically to a fresh
            Generate.generate ~compile, so this equals the one-shot
            Statsim.run_profile/simulate_stream path byte-for-byte *)
-        let plan = Runner.Cache.plan env.cache ~target_length:syn p in
+        let plan =
+          tspan env "cache.plan" (fun () ->
+              Runner.Cache.plan env.cache ~target_length:syn p)
+        in
         env.check ();
-        if stream then Statsim.run_plan cfg plan ~seed
-        else Statsim.simulate cfg (Synth.Generate.generate_of_plan plan ~seed)
+        tspan env "simulate.run" (fun () ->
+            if stream then Statsim.run_plan cfg plan ~seed
+            else
+              Statsim.simulate cfg (Synth.Generate.generate_of_plan plan ~seed))
       end
-      else if stream then
-        Statsim.simulate_stream ~compile:false ~target_length:syn cfg p ~seed
-      else Statsim.run_profile ~compile:false ~target_length:syn cfg p ~seed
+      else
+        tspan env "simulate.run" (fun () ->
+            if stream then
+              Statsim.simulate_stream ~compile:false ~target_length:syn cfg p
+                ~seed
+            else
+              Statsim.run_profile ~compile:false ~target_length:syn cfg p ~seed)
     in
     Printf.bprintf buf "%-22s %10s %10s %8s\n" "" "EDS" "statsim" "error";
     let line name get =
@@ -179,24 +207,26 @@ let simulate env ~force_replicas params =
     let p = collect () in
     env.check ();
     let r =
-      match ci_target with
-      | Some ci_target ->
-        Synth.Replicate.run_ci ~jobs ~stream ~compile ~check:env.check
-          ~target_length:syn ?min_replicas:replicas cfg p ~master_seed:seed
-          ~ci_target
-      | None ->
-        Synth.Replicate.run ~jobs ~stream ~compile ~check:env.check
-          ~target_length:syn cfg p ~master_seed:seed
-          ~replicas:(Option.value replicas ~default:4)
+      tspan env "replicate.run" (fun () ->
+          match ci_target with
+          | Some ci_target ->
+            Synth.Replicate.run_ci ~jobs ~stream ~compile ~check:env.check
+              ~target_length:syn ?min_replicas:replicas cfg p ~master_seed:seed
+              ~ci_target
+          | None ->
+            Synth.Replicate.run ~jobs ~stream ~compile ~check:env.check
+              ~target_length:syn cfg p ~master_seed:seed
+              ~replicas:(Option.value replicas ~default:4))
     in
-    if json then
-      Buffer.add_string buf
-        (Json.to_string (Synth.Replicate.to_json r) ^ "\n")
-    else begin
-      let ppf = Format.formatter_of_buffer buf in
-      Synth.Replicate.render_text ppf r;
-      Format.pp_print_flush ppf ()
-    end);
+    tspan env "render" (fun () ->
+        if json then
+          Buffer.add_string buf
+            (Json.to_string (Synth.Replicate.to_json r) ^ "\n")
+        else begin
+          let ppf = Format.formatter_of_buffer buf in
+          Synth.Replicate.render_text ppf r;
+          Format.pp_print_flush ppf ()
+        end));
   result_obj ~warnings:!warnings buf
 
 (* --- diag --- *)
@@ -221,39 +251,45 @@ let diag env params =
   let tr =
     if compile then begin
       let plan =
-        match reduction with
-        | Some r -> Runner.Cache.plan env.cache ~reduction:r p
-        | None -> Runner.Cache.plan env.cache ~target_length:syn p
+        tspan env "cache.plan" (fun () ->
+            match reduction with
+            | Some r -> Runner.Cache.plan env.cache ~reduction:r p
+            | None -> Runner.Cache.plan env.cache ~target_length:syn p)
       in
       env.check ();
-      Synth.Generate.generate_of_plan plan ~seed
+      tspan env "generate" (fun () ->
+          Synth.Generate.generate_of_plan plan ~seed)
     end
     else
-      match reduction with
-      | Some r -> Synth.Generate.generate ~compile:false ~reduction:r p ~seed
-      | None ->
-        Synth.Generate.generate ~compile:false ~target_length:syn p ~seed
+      tspan env "generate" (fun () ->
+          match reduction with
+          | Some r ->
+            Synth.Generate.generate ~compile:false ~reduction:r p ~seed
+          | None ->
+            Synth.Generate.generate ~compile:false ~target_length:syn p ~seed)
   in
   env.check ();
-  let d = Diag.compare ~label:bench p tr in
+  let d = tspan env "diag.compare" (fun () -> Diag.compare ~label:bench p tr) in
   let metrics =
     if not eds then None
     else begin
       let spec = find_spec bench in
       env.check ();
       let eds_res =
-        Runner.Cache.reference env.cache cfg
-          ~stream_key:(stream_key ~bench ~length) (fun () ->
-            Workload.Suite.stream spec ~length)
+        tspan env "cache.reference" (fun () ->
+            Runner.Cache.reference env.cache cfg
+              ~stream_key:(stream_key ~bench ~length) (fun () ->
+                Workload.Suite.stream spec ~length))
       in
       let syn_m = Synth.Run.run cfg tr in
       Some (Diag.compare_metrics ~eds:eds_res.Statsim.metrics ~synthetic:syn_m)
     end
   in
   let buf = Buffer.create 512 in
-  if json then
-    Buffer.add_string buf (Json.to_string (Diag.to_json ?metrics d) ^ "\n")
-  else Buffer.add_string buf (Diag.render_text ?metrics d);
+  tspan env "render" (fun () ->
+      if json then
+        Buffer.add_string buf (Json.to_string (Diag.to_json ?metrics d) ^ "\n")
+      else Buffer.add_string buf (Diag.render_text ?metrics d));
   let extra =
     match check_eps with
     | None -> []
@@ -313,7 +349,9 @@ let experiment env params =
   List.iter
     (fun (e : Experiments.Registry.entry) ->
       env.check ();
-      Runner.Report.render format ppf (Runner.Exec.run ~label:e.id ctx e.plan))
+      tspan env ("experiment:" ^ e.id) (fun () ->
+          Runner.Report.render format ppf
+            (Runner.Exec.run ~label:e.id ctx e.plan)))
     entries;
   Format.pp_print_flush ppf ();
   result_obj ~warnings:[] buf
@@ -348,15 +386,17 @@ let dse env params =
   let spec = find_spec bench in
   env.check ();
   match
-    Dse.Driver.run ~cache:env.cache ~jobs:env.jobs ~replicas ?max_points
-      ~length ~target_length:syn ~sweep ~bench:spec ~seed ()
+    tspan env "dse.run" (fun () ->
+        Dse.Driver.run ~cache:env.cache ~jobs:env.jobs ~replicas ?max_points
+          ~length ~target_length:syn ~sweep ~bench:spec ~seed ())
   with
   | Error m -> Error m
   | Ok r ->
     let buf = Buffer.create 1024 in
-    let ppf = Format.formatter_of_buffer buf in
-    Runner.Report.render format ppf (Dse.Driver.to_report r);
-    Format.pp_print_flush ppf ();
+    tspan env "render" (fun () ->
+        let ppf = Format.formatter_of_buffer buf in
+        Runner.Report.render format ppf (Dse.Driver.to_report r);
+        Format.pp_print_flush ppf ());
     result_obj ~warnings:[] buf
 
 (* --- small ops --- *)
@@ -384,7 +424,31 @@ let sleep env params =
   nap ();
   Ok (Json.Obj [ ("slept_ms", Json.Num (float_of_int ms)) ])
 
-let dispatch env ~op params =
+(* Live observability reads: the process registry and the serve plane.
+   Both are plain ops so a remote `statsim client` (or a Prometheus
+   scraper behind a tiny shim) can read a running daemon without
+   restarting it; in one-shot CLI mode they report this process. *)
+let telemetry_op () =
+  let snap = Telemetry.snapshot () in
+  Ok
+    (Json.Obj
+       [
+         ("output", Json.Str (Telemetry.render_json snap));
+         ("telemetry", Telemetry.json_of_snapshot snap);
+       ])
+
+let metrics_op params =
+  match str_def params "format" "json" with
+  | "json" ->
+    let m = Obs.metrics_json () in
+    Ok
+      (Json.Obj
+         [ ("output", Json.Str (Json.to_string m ^ "\n")); ("metrics", m) ])
+  | "prometheus" ->
+    Ok (Json.Obj [ ("output", Json.Str (Obs.prometheus ())) ])
+  | f -> bad "unknown format %S (one of: json prometheus)" f
+
+let dispatch_inner env ~op params =
   try
     match op with
     | "ping" -> ping ()
@@ -395,11 +459,53 @@ let dispatch env ~op params =
     | "experiment" -> experiment env params
     | "dse" -> dse env params
     | "sleep" -> sleep env params
+    | "telemetry" -> telemetry_op ()
+    | "metrics" -> metrics_op params
     | op ->
       Error
         (Printf.sprintf "unknown op %S (one of: %s)" op
            (String.concat " " op_names))
   with Bad_param m -> Error m
+
+let dispatch env ~op params =
+  (* Resolve the request's trace: the daemon creates one at frame decode
+     (and seeds it into [env]); a one-shot caller opts in with a
+     `"trace": true` param. Untraced requests take the [None] branch of
+     every [tspan] — and their replies carry no extra field, keeping
+     server output byte-identical to the CLI. *)
+  let trace =
+    match env.trace with
+    | Some _ as t -> t
+    | None -> (
+      match Json.member "trace" params with
+      | Some (Json.Bool true) -> Some (Telemetry.Trace.create ~id:op ())
+      | _ -> None)
+  in
+  let env =
+    match trace with
+    | None -> env
+    | Some tr ->
+      let base_check = env.check in
+      {
+        env with
+        trace;
+        (* every cooperative checkpoint visit — one per replica inside
+           Synth.Replicate's ?check boundary hook — ticks a mark *)
+        check =
+          (fun () ->
+            Telemetry.Trace.mark tr "check";
+            base_check ());
+      }
+  in
+  let r = dispatch_inner env ~op params in
+  match trace with
+  | None -> r
+  | Some tr -> (
+    Telemetry.Trace.finish tr;
+    match r with
+    | Ok (Json.Obj fields) ->
+      Ok (Json.Obj (fields @ [ ("trace", Telemetry.Trace.to_json tr) ]))
+    | r -> r)
 
 let output r =
   match Json.member "output" r with Some (Json.Str s) -> s | _ -> ""

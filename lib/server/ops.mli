@@ -26,6 +26,10 @@ type env = {
       (** cooperative cancellation point: called between pipeline
           stages and at every replica boundary (threaded into
           {!Synth.Replicate.run}); raise to abort the request *)
+  trace : Telemetry.Trace.t option;
+      (** request-scoped span tree, created by the daemon at frame
+          decode (or by {!dispatch} itself for a ["trace": true]
+          param); [None] = untraced, and every stage span is a no-op *)
 }
 
 val default_env :
@@ -37,7 +41,7 @@ val default_env :
 
 val op_names : string list
 (** ["ping"; "cache-stats"; "simulate"; "replicate"; "diag";
-    "experiment"; "dse"; "sleep"]. *)
+    "experiment"; "dse"; "sleep"; "telemetry"; "metrics"]. *)
 
 val dispatch :
   env -> op:string -> Telemetry.Json.t -> (Telemetry.Json.t, string) result
@@ -47,7 +51,21 @@ val dispatch :
     [cache-stats]' counters). [Error] is a client mistake (unknown op,
     unknown workload, bad params) to be mapped to a [bad_request]
     reply. Exceptions (including {!Cancelled}/{!Deadline_exceeded}
-    raised from [env.check]) propagate to the caller. *)
+    raised from [env.check]) propagate to the caller.
+
+    Tracing: when [env.trace] is set, or the request params carry
+    [{"trace": true}], per-stage spans (cache lookups,
+    profile/plan/reference compute, run, render) are recorded under the
+    request's span tree, the cooperative [check] ticks a ["check"] mark
+    per visit (one per replica boundary), and the finished tree is
+    appended to the [Ok] result object as a ["trace"] field — untraced
+    replies carry no extra field and stay byte-identical to the CLI.
+
+    The [telemetry] op returns the live process registry
+    ({!Telemetry.render_json} as ["output"], the snapshot object as
+    ["telemetry"]); the [metrics] op returns the serve observability
+    plane ({!Obs.metrics_json}, or Prometheus text with
+    [{"format": "prometheus"}]). *)
 
 val output : Telemetry.Json.t -> string
 (** The ["output"] field of a result object, or [""]. *)

@@ -1,0 +1,134 @@
+(* Mergeable bounded-relative-error quantile sketch over non-negative
+   integers (typically nanosecond durations).
+
+   Layout is HDR-histogram style log-linear: values below [sub] (= 2^sub_bits)
+   are recorded exactly, one cell per value; above that, each power-of-two
+   region [2^e, 2^(e+1)) is split into [sub] linear sub-buckets of width
+   2^(e - sub_bits).  A cell's width is therefore at most lo/sub, so the
+   relative value error of any quantile estimate is bounded by 1/sub
+   (= [relative_error]).  Indexing is integer-only (shift/compare), merging
+   is cell-wise addition — exactly associative and commutative — and the
+   cell count is small enough (a few hundred) that callers such as
+   [Telemetry.Window] can mirror the cell array as [int Atomic.t] slots and
+   rebuild a sketch with [of_counts] at query time. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits
+
+(* Largest exponent region: values up to ~2^46 ns (~20 hours) before
+   clamping into the final cell. *)
+let max_exp = 45
+
+let ncells = sub + ((max_exp - sub_bits + 1) * sub)
+
+let relative_error = 1.0 /. float_of_int sub
+
+(* Position of the most significant set bit of [v] (v > 0). *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v >= 1 lsl 32 then begin
+    r := !r + 32;
+    v := !v lsr 32
+  end;
+  if !v >= 1 lsl 16 then begin
+    r := !r + 16;
+    v := !v lsr 16
+  end;
+  if !v >= 1 lsl 8 then begin
+    r := !r + 8;
+    v := !v lsr 8
+  end;
+  if !v >= 1 lsl 4 then begin
+    r := !r + 4;
+    v := !v lsr 4
+  end;
+  if !v >= 1 lsl 2 then begin
+    r := !r + 2;
+    v := !v lsr 2
+  end;
+  if !v >= 1 lsl 1 then r := !r + 1;
+  !r
+
+let index v =
+  if v <= 0 then 0
+  else if v < sub then v
+  else
+    let e = msb v in
+    if e > max_exp then ncells - 1
+    else sub + (((e - sub_bits) * sub) + ((v lsr (e - sub_bits)) - sub))
+
+let lo i =
+  if i < sub then i
+  else
+    let r = (i - sub) / sub and b = (i - sub) mod sub in
+    (sub + b) lsl r
+
+let hi i =
+  if i < sub then i
+  else
+    let r = (i - sub) / sub in
+    lo i + (1 lsl r) - 1
+
+type t = { cells : int array; mutable total : int; mutable vsum : int }
+
+let create () = { cells = Array.make ncells 0; total = 0; vsum = 0 }
+
+let add ?(n = 1) t v =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let i = index v in
+    t.cells.(i) <- t.cells.(i) + n;
+    t.total <- t.total + n;
+    t.vsum <- t.vsum + (n * v)
+  end
+
+let count t = t.total
+let sum t = t.vsum
+let counts t = Array.copy t.cells
+
+let mean t = if t.total = 0 then 0.0 else float_of_int t.vsum /. float_of_int t.total
+
+let of_counts ?(sum = 0) counts =
+  if Array.length counts <> ncells then
+    invalid_arg "Qsketch.of_counts: wrong cell count";
+  let cells = Array.copy counts in
+  let total = Array.fold_left ( + ) 0 cells in
+  { cells; total; vsum = sum }
+
+let merge_into ~src ~dst =
+  for i = 0 to ncells - 1 do
+    dst.cells.(i) <- dst.cells.(i) + src.cells.(i)
+  done;
+  dst.total <- dst.total + src.total;
+  dst.vsum <- dst.vsum + src.vsum
+
+let merge a b =
+  let t = create () in
+  merge_into ~src:a ~dst:t;
+  merge_into ~src:b ~dst:t;
+  t
+
+(* Nearest-rank quantile: rank = ceil(q * n) clamped to [1, n]; the
+   estimate is the upper bound of the cell containing that rank, so
+   [exact <= estimate <= exact * (1 + relative_error)] (+1 for integer
+   truncation). *)
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let acc = ref 0 and res = ref 0 in
+    (try
+       for i = 0 to ncells - 1 do
+         acc := !acc + t.cells.(i);
+         if !acc >= rank then begin
+           res := hi i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end

@@ -1,0 +1,56 @@
+(** Mergeable bounded-relative-error quantile sketch over non-negative
+    integers (typically nanosecond durations).
+
+    HDR-histogram-style log-linear buckets: values below [2^sub_bits] are
+    exact; above that each power-of-two region is split into [2^sub_bits]
+    linear sub-buckets, so any quantile estimate [est] of an exact
+    nearest-rank value [v] satisfies [v <= est <= v + v * relative_error]
+    (plus at most 1 from integer truncation).  Merging is cell-wise
+    addition and therefore exactly associative and commutative. *)
+
+type t
+
+val sub_bits : int
+(** Sub-bucket resolution; [relative_error = 2{^-sub_bits}]. *)
+
+val ncells : int
+(** Number of cells in the sketch (constant for the process). *)
+
+val relative_error : float
+(** Upper bound on the relative value error of [quantile]. *)
+
+val create : unit -> t
+
+val add : ?n:int -> t -> int -> unit
+(** [add ?n t v] records [n] (default 1) observations of value [v]
+    (negative values clamp to 0). *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: nearest-rank estimate (upper cell
+    bound).  Returns 0 on an empty sketch. *)
+
+val merge : t -> t -> t
+(** Pure merge; exactly associative and commutative. *)
+
+val merge_into : src:t -> dst:t -> unit
+
+val index : int -> int
+(** [index v] is the cell a value lands in — exposed so lock-free callers
+    can keep their own [int Atomic.t] cell arrays. *)
+
+val lo : int -> int
+(** Smallest value mapping to a cell. *)
+
+val hi : int -> int
+(** Largest value mapping to a cell. *)
+
+val counts : t -> int array
+(** A copy of the raw cell counts (length [ncells]). *)
+
+val of_counts : ?sum:int -> int array -> t
+(** Rebuild a sketch from a raw cell-count array of length [ncells]
+    (e.g. read back from atomic mirrors); [sum] seeds the value sum. *)

@@ -637,6 +637,370 @@ let render_text ppf snap =
       histograms
   end
 
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* --- rolling windows --- *)
+
+module Window = struct
+  (* A rotating ring of [nslots] slots, each covering [slot_ns] of
+     monotonic time. Slot for time [t]: epoch = t / slot_ns, ring index
+     = epoch mod nslots. An observer that finds its slot stamped with a
+     stale epoch CASes the new epoch in; the CAS winner zeroes the
+     slot's cells before anyone (including itself) accumulates into it.
+     The zeroing is not atomic with respect to concurrent observers of
+     the same new epoch, so a handful of observations can land in a
+     cell just before it is zeroed — a benign, monitoring-grade race
+     confined to the instant of slot turnover. Queries merge all slots
+     whose stamped epoch is still inside the window. *)
+
+  type slot = {
+    sl_epoch : int Atomic.t;
+    sl_cells : int Atomic.t array;  (* Stats.Qsketch cells; [||] if sketchless *)
+    sl_count : int Atomic.t;
+    sl_sum : int Atomic.t;
+  }
+
+  type t = {
+    slot_ns : int;
+    nslots : int;
+    ring : slot array;
+  }
+
+  type stat = {
+    w_count : int;
+    w_sum : int;
+    w_mean : float;
+    w_p50 : int;
+    w_p95 : int;
+    w_p99 : int;
+  }
+
+  let empty_stat =
+    { w_count = 0; w_sum = 0; w_mean = 0.0; w_p50 = 0; w_p95 = 0; w_p99 = 0 }
+
+  let create ?(sketch = true) ~window_ns ~slots () =
+    if slots < 1 || window_ns < slots then
+      invalid_arg "Telemetry.Window.create";
+    {
+      slot_ns = window_ns / slots;
+      nslots = slots;
+      ring =
+        Array.init slots (fun _ ->
+            {
+              sl_epoch = Atomic.make min_int;
+              sl_cells =
+                (if sketch then
+                   Array.init Stats.Qsketch.ncells (fun _ -> Atomic.make 0)
+                 else [||]);
+              sl_count = Atomic.make 0;
+              sl_sum = Atomic.make 0;
+            });
+    }
+
+  let slot_for t now =
+    let epoch = now / t.slot_ns in
+    let s = t.ring.(epoch mod t.nslots) in
+    let stamped = Atomic.get s.sl_epoch in
+    if stamped <> epoch then
+      if Atomic.compare_and_set s.sl_epoch stamped epoch then begin
+        Array.iter (fun c -> Atomic.set c 0) s.sl_cells;
+        Atomic.set s.sl_count 0;
+        Atomic.set s.sl_sum 0
+      end;
+    s
+
+  let observe ?now t v =
+    let now = match now with Some n -> n | None -> now_ns () in
+    let v = if v < 0 then 0 else v in
+    let s = slot_for t now in
+    if Array.length s.sl_cells > 0 then
+      ignore (Atomic.fetch_and_add s.sl_cells.(Stats.Qsketch.index v) 1);
+    ignore (Atomic.fetch_and_add s.sl_count 1);
+    ignore (Atomic.fetch_and_add s.sl_sum v)
+
+  let live t now s =
+    let e = Atomic.get s.sl_epoch in
+    let cur = now / t.slot_ns in
+    e > cur - t.nslots && e <= cur
+
+  let query ?now t =
+    let now = match now with Some n -> n | None -> now_ns () in
+    let sk = Stats.Qsketch.create () in
+    let count = ref 0 and sum = ref 0 and sketched = ref false in
+    Array.iter
+      (fun s ->
+        if live t now s then begin
+          count := !count + Atomic.get s.sl_count;
+          sum := !sum + Atomic.get s.sl_sum;
+          if Array.length s.sl_cells > 0 then begin
+            sketched := true;
+            Array.iteri
+              (fun i c ->
+                let n = Atomic.get c in
+                if n > 0 then
+                  Stats.Qsketch.add ~n sk (Stats.Qsketch.lo i))
+              s.sl_cells
+          end
+        end)
+      t.ring;
+    let count = !count and sum = !sum in
+    if count = 0 then empty_stat
+    else
+      {
+        w_count = count;
+        w_sum = sum;
+        w_mean = float_of_int sum /. float_of_int count;
+        w_p50 = (if !sketched then Stats.Qsketch.quantile sk 0.50 else 0);
+        w_p95 = (if !sketched then Stats.Qsketch.quantile sk 0.95 else 0);
+        w_p99 = (if !sketched then Stats.Qsketch.quantile sk 0.99 else 0);
+      }
+
+  let count ?now t = (query ?now t).w_count
+end
+
+(* --- request-scoped traces --- *)
+
+module Trace = struct
+  (* A per-request span tree. Unlike the process-global registry above,
+     a trace is request-scoped: created at frame decode, carried by the
+     request through queue / workers, finished before the reply is
+     rendered. Spans nest via a stack of open nodes guarded by the
+     trace's own mutex — requests execute on one worker domain at a
+     time, so contention is nil; the mutex exists because high-frequency
+     boundary callbacks ([mark], e.g. one per replica) may fire from
+     replica worker domains while the owning worker is between stages. *)
+
+  type node = {
+    n_name : string;
+    n_start_ns : int;
+    mutable n_dur_ns : int;  (* -1 while open *)
+    mutable n_children : node list;  (* reverse recording order *)
+  }
+
+  type t = {
+    tr_id : string;
+    tr_root : node;
+    mutable tr_open : node list;  (* innermost first; root always last *)
+    tr_mutex : Mutex.t;
+    tr_marks : (string, int ref) Hashtbl.t;
+  }
+
+  let create ~id () =
+    let root =
+      {
+        n_name = "request";
+        n_start_ns = now_ns ();
+        n_dur_ns = -1;
+        n_children = [];
+      }
+    in
+    {
+      tr_id = id;
+      tr_root = root;
+      tr_open = [ root ];
+      tr_mutex = Mutex.create ();
+      tr_marks = Hashtbl.create 4;
+    }
+
+  let id t = t.tr_id
+
+  let locked t f =
+    Mutex.lock t.tr_mutex;
+    let v = f () in
+    Mutex.unlock t.tr_mutex;
+    v
+
+  let innermost t =
+    match t.tr_open with n :: _ -> n | [] -> t.tr_root
+
+  let add t name ~start_ns ~dur_ns =
+    let dur_ns = if dur_ns < 0 then 0 else dur_ns in
+    locked t (fun () ->
+        let parent = innermost t in
+        parent.n_children <-
+          { n_name = name; n_start_ns = start_ns; n_dur_ns = dur_ns;
+            n_children = [] }
+          :: parent.n_children);
+    if Atomic.get capture_flag then
+      push_event name ~t0:(Int64.of_int start_ns) ~dt:dur_ns
+
+  let span t name f =
+    let node =
+      { n_name = name; n_start_ns = now_ns (); n_dur_ns = -1; n_children = [] }
+    in
+    locked t (fun () ->
+        let parent = innermost t in
+        parent.n_children <- node :: parent.n_children;
+        t.tr_open <- node :: t.tr_open);
+    let close () =
+      let dt = now_ns () - node.n_start_ns in
+      locked t (fun () ->
+          node.n_dur_ns <- (if dt < 0 then 0 else dt);
+          (* pop up to and including [node]; tolerates children left
+             open by an exception *)
+          let rec pop = function
+            | n :: rest when n == node -> rest
+            | _ :: rest -> pop rest
+            | [] -> [ t.tr_root ]
+          in
+          t.tr_open <- pop t.tr_open);
+      if Atomic.get capture_flag then
+        push_event name ~t0:(Int64.of_int node.n_start_ns) ~dt:node.n_dur_ns
+    in
+    match f () with
+    | v ->
+      close ();
+      v
+    | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      close ();
+      Printexc.raise_with_backtrace exn bt
+
+  let mark ?(n = 1) t name =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tr_marks name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.add t.tr_marks name (ref n))
+
+  let finish t =
+    let now = now_ns () in
+    locked t (fun () ->
+        List.iter
+          (fun n ->
+            if n.n_dur_ns < 0 then n.n_dur_ns <- max 0 (now - n.n_start_ns))
+          t.tr_open;
+        if t.tr_root.n_dur_ns < 0 then
+          t.tr_root.n_dur_ns <- max 0 (now - t.tr_root.n_start_ns);
+        t.tr_open <- []);
+    if Atomic.get capture_flag then
+      push_event
+        (Printf.sprintf "request %s" t.tr_id)
+        ~t0:(Int64.of_int t.tr_root.n_start_ns)
+        ~dt:t.tr_root.n_dur_ns
+
+  let to_json t =
+    let base = t.tr_root.n_start_ns in
+    let rec node_json n =
+      Json.Obj
+        [
+          ("name", Json.Str n.n_name);
+          ("start_ns", Json.Num (float_of_int (n.n_start_ns - base)));
+          ("dur_ns", Json.Num (float_of_int (max 0 n.n_dur_ns)));
+          ("children", Json.Arr (List.rev_map node_json n.n_children));
+        ]
+    in
+    let marks =
+      locked t (fun () ->
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tr_marks [])
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map (fun (k, v) -> (k, Json.Num (float_of_int v)))
+    in
+    Json.Obj
+      [
+        ("id", Json.Str t.tr_id);
+        ("root", node_json t.tr_root);
+        ("marks", Json.Obj marks);
+      ]
+end
+
+(* --- Prometheus text exposition --- *)
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else Printf.sprintf "%.12g" v
+
+let render_prometheus snap =
+  let buf = Buffer.create 4096 in
+  let family name typ = Printf.bprintf buf "# TYPE %s %s\n" name typ in
+  let line name labels v =
+    Buffer.add_string buf name;
+    (match labels with
+    | [] -> ()
+    | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, lv) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "%s=\"%s\"" k (prom_escape lv))
+        labels;
+      Buffer.add_char buf '}');
+    Printf.bprintf buf " %s\n" (prom_num v)
+  in
+  if snap.counters <> [] then begin
+    family "statsim_counter_total" "counter";
+    List.iter
+      (fun (name, v) ->
+        line "statsim_counter_total" [ ("name", name) ] (float_of_int v))
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    family "statsim_gauge" "gauge";
+    List.iter
+      (fun (name, v) -> line "statsim_gauge" [ ("name", name) ] v)
+      snap.gauges
+  end;
+  if snap.spans <> [] then begin
+    family "statsim_span_calls_total" "counter";
+    List.iter
+      (fun s ->
+        line "statsim_span_calls_total"
+          [ ("span", s.span_name) ]
+          (float_of_int s.calls))
+      snap.spans;
+    family "statsim_span_total_ns" "counter";
+    List.iter
+      (fun s ->
+        line "statsim_span_total_ns"
+          [ ("span", s.span_name) ]
+          (float_of_int s.total_ns))
+      snap.spans;
+    family "statsim_span_max_ns" "gauge";
+    List.iter
+      (fun s ->
+        line "statsim_span_max_ns"
+          [ ("span", s.span_name) ]
+          (float_of_int s.max_ns))
+      snap.spans
+  end;
+  if snap.histograms <> [] then begin
+    family "statsim_hist" "histogram";
+    List.iter
+      (fun h ->
+        (* cumulative le-buckets; the upper bound of registry bucket i
+           is 2^i - 1 (bucket 0 holds only the value 0) *)
+        let cum = ref 0 in
+        List.iter
+          (fun (lo, c) ->
+            cum := !cum + c;
+            let le = if lo = 0 then 0 else (2 * lo) - 1 in
+            line "statsim_hist_bucket"
+              [ ("name", h.hist_name); ("le", string_of_int le) ]
+              (float_of_int !cum))
+          h.buckets;
+        line "statsim_hist_bucket"
+          [ ("name", h.hist_name); ("le", "+Inf") ]
+          (float_of_int h.count);
+        line "statsim_hist_sum" [ ("name", h.hist_name) ]
+          (float_of_int h.sum);
+        line "statsim_hist_count" [ ("name", h.hist_name) ]
+          (float_of_int h.count))
+      snap.histograms
+  end;
+  Buffer.contents buf
+
 (* --- Chrome trace-event export --- *)
 
 let chrome_trace () =

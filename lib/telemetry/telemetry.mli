@@ -152,6 +152,88 @@ val chrome_trace : unit -> Json.t
     named thread track per domain, under the standard [traceEvents]
     key. Loadable in [chrome://tracing] and Perfetto. *)
 
+val now_ns : unit -> int
+(** Monotonic clock reading in nanoseconds, as an int — the time base
+    used by spans, {!Window} and {!Trace}. *)
+
+(** {1 Rolling windows}
+
+    Windowed instruments for SLO-style "last N minutes" statistics: a
+    rotating ring of slots, each an array of lock-free
+    [Stats.Qsketch]-indexed atomic cells. Observation is wait-free
+    (one index computation plus two or three atomic adds); slot
+    turnover is claimed by CAS, with the winner zeroing the slot — a
+    benign monitoring-grade race can drop a handful of observations at
+    the instant a slot rotates. Queries merge all in-window slots into
+    a sketch and report count / mean / p50 / p95 / p99.
+
+    Unlike the registry instruments above, windows are NOT gated on
+    {!enabled} — callers owning a hot path gate themselves (one atomic
+    read) before calling {!Window.observe}. *)
+module Window : sig
+  type t
+
+  type stat = {
+    w_count : int;
+    w_sum : int;
+    w_mean : float;
+    w_p50 : int;  (** nearest-rank, bounded relative error *)
+    w_p95 : int;
+    w_p99 : int;
+  }
+
+  val empty_stat : stat
+
+  val create : ?sketch:bool -> window_ns:int -> slots:int -> unit -> t
+  (** [create ~window_ns ~slots ()] covers the last [window_ns]
+      nanoseconds with [slots] ring slots. [~sketch:false] drops the
+      quantile cells (count/sum only) — for ratio numerators such as
+      deadline misses. *)
+
+  val observe : ?now:int -> t -> int -> unit
+  (** Record one non-negative observation. [?now] (monotonic ns)
+      defaults to {!now_ns}; tests pass it explicitly for deterministic
+      rotation. *)
+
+  val query : ?now:int -> t -> stat
+  val count : ?now:int -> t -> int
+end
+
+(** {1 Request-scoped traces}
+
+    A per-request span tree, created at frame decode and carried with
+    the request through queue and workers; finished spans are appended
+    to the Chrome-trace capture buffer when {!capturing} is on, so
+    request traces ride the existing export path. *)
+module Trace : sig
+  type t
+
+  val create : id:string -> unit -> t
+  (** Opens the root ["request"] span at the current monotonic time. *)
+
+  val id : t -> string
+
+  val span : t -> string -> (unit -> 'a) -> 'a
+  (** Run a stage under a named child span of the innermost open span.
+      Records the duration even when the stage raises. *)
+
+  val add : t -> string -> start_ns:int -> dur_ns:int -> unit
+  (** Attach an already-measured span (e.g. queue wait measured between
+      two threads). *)
+
+  val mark : ?n:int -> t -> string -> unit
+  (** Count a high-frequency boundary event (e.g. one per replica)
+      without allocating a span per occurrence; totals appear under
+      [marks] in {!to_json}. *)
+
+  val finish : t -> unit
+  (** Close the root span and any stage left open. *)
+
+  val to_json : t -> Json.t
+  (** [{"id", "root": span tree (start_ns relative to root, dur_ns,
+      children), "marks": {name: count}}]. *)
+end
+
 (** {1 Snapshots} *)
 
 type span_stat = {
@@ -204,3 +286,12 @@ val render_json : snapshot -> string
 val render_text : Format.formatter -> snapshot -> unit
 (** Human-readable block (spans with calls/total/mean/max, then
     counters, then gauges); instruments that never fired are elided. *)
+
+val render_prometheus : snapshot -> string
+(** Prometheus text exposition of the registry: [statsim_counter_total]
+    and [statsim_gauge] families labelled by instrument name,
+    [statsim_span_calls_total] / [statsim_span_total_ns] /
+    [statsim_span_max_ns] labelled by span, and one [statsim_hist]
+    histogram family with cumulative [le] buckets. Dotted instrument
+    names appear verbatim as label values (legal in the exposition
+    format); every family carries the [statsim_] prefix. *)

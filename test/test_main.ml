@@ -3,6 +3,7 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
+      ("qsketch", Test_qsketch.suite);
       ("isa", Test_isa.suite);
       ("config", Test_config.suite);
       ("cache", Test_cache.suite);

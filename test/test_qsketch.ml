@@ -1,0 +1,152 @@
+(* Quantile sketch: cell geometry, the merge algebra (cell-wise addition,
+   exactly associative and commutative), and the rank-error contract the
+   SLO windows depend on — for any quantile, exact <= estimate <=
+   exact * (1 + relative_error) + 1. *)
+
+module Q = Stats.Qsketch
+
+let of_list vs =
+  let t = Q.create () in
+  List.iter (Q.add t) vs;
+  t
+
+let same_sketch a b =
+  Q.count a = Q.count b && Q.sum a = Q.sum b && Q.counts a = Q.counts b
+
+(* values spanning the exact region, several log regions, and the tail *)
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, int_range 0 15);
+        (4, int_range 0 4_096);
+        (3, int_range 0 2_000_000_000);
+      ])
+
+let values_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list int)
+    QCheck.Gen.(list_size (int_range 1 300) value_gen)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"merge commutative"
+    (QCheck.pair values_arb values_arb)
+    (fun (xs, ys) ->
+      let a = of_list xs and b = of_list ys in
+      same_sketch (Q.merge a b) (Q.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"merge associative"
+    (QCheck.triple values_arb values_arb values_arb)
+    (fun (xs, ys, zs) ->
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      same_sketch (Q.merge a (Q.merge b c)) (Q.merge (Q.merge a b) c))
+
+let prop_merge_is_union =
+  QCheck.Test.make ~count:200 ~name:"merge equals sketching the union"
+    (QCheck.pair values_arb values_arb)
+    (fun (xs, ys) ->
+      same_sketch (Q.merge (of_list xs) (of_list ys)) (of_list (xs @ ys)))
+
+(* exact nearest-rank quantile on the raw sample *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  sorted.(rank - 1)
+
+let qs = [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ]
+
+let prop_rank_error_bound =
+  QCheck.Test.make ~count:300 ~name:"quantile within relative-error bound"
+    values_arb
+    (fun vs ->
+      let t = of_list vs in
+      let sorted = Array.of_list vs in
+      Array.sort compare sorted;
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile sorted q in
+          let est = Q.quantile t q in
+          let slack =
+            int_of_float (float_of_int exact *. Q.relative_error) + 1
+          in
+          exact <= est && est - exact <= slack)
+        qs)
+
+(* below 2^sub_bits every value has its own cell: quantiles are exact *)
+let prop_small_values_exact =
+  QCheck.Test.make ~count:200 ~name:"values below 2^sub_bits are exact"
+    (QCheck.make
+       ~print:QCheck.Print.(list int)
+       QCheck.Gen.(list_size (int_range 1 200) (int_range 0 15)))
+    (fun vs ->
+      let t = of_list vs in
+      let sorted = Array.of_list vs in
+      Array.sort compare sorted;
+      List.for_all (fun q -> Q.quantile t q = exact_quantile sorted q) qs)
+
+let prop_cell_geometry =
+  QCheck.Test.make ~count:500 ~name:"index/lo/hi consistent, width bounded"
+    (QCheck.make ~print:string_of_int value_gen)
+    (fun v ->
+      let i = Q.index v in
+      0 <= i && i < Q.ncells
+      && Q.lo i <= v
+      && v <= Q.hi i
+      (* cell width is what bounds the quantile error *)
+      && Q.hi i - Q.lo i <= Q.lo i / (1 lsl Q.sub_bits))
+
+let test_basics () =
+  let t = Q.create () in
+  Alcotest.(check int) "empty count" 0 (Q.count t);
+  Alcotest.(check int) "empty quantile" 0 (Q.quantile t 0.5);
+  Q.add ~n:3 t 10;
+  Q.add t 100;
+  Alcotest.(check int) "count" 4 (Q.count t);
+  Alcotest.(check int) "sum" 130 (Q.sum t);
+  Alcotest.(check (float 1e-9)) "mean" 32.5 (Q.mean t);
+  (* negative values clamp to 0, zero-count adds are dropped *)
+  Q.add t (-7);
+  Q.add ~n:0 t 1_000;
+  Alcotest.(check int) "clamped count" 5 (Q.count t);
+  Alcotest.(check int) "clamped sum" 130 (Q.sum t);
+  Alcotest.(check int) "p0 after clamp" 0 (Q.quantile t 0.0);
+  (* out-of-range q clamps *)
+  Alcotest.(check int) "q>1 = max" (Q.quantile t 1.0) (Q.quantile t 2.0);
+  Alcotest.(check int) "q<0 = min" (Q.quantile t 0.0) (Q.quantile t (-1.0))
+
+let test_of_counts_roundtrip () =
+  let t = of_list [ 1; 5; 17; 300; 300; 9_999; 123_456_789 ] in
+  let t' = Q.of_counts ~sum:(Q.sum t) (Q.counts t) in
+  Alcotest.(check bool) "roundtrip preserves sketch" true (same_sketch t t');
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "q=%g identical" q)
+        (Q.quantile t q) (Q.quantile t' q))
+    qs;
+  Alcotest.check_raises "wrong cell count rejected"
+    (Invalid_argument "Qsketch.of_counts: wrong cell count") (fun () ->
+      ignore (Q.of_counts [| 1; 2; 3 |]))
+
+let test_merge_into () =
+  let a = of_list [ 1; 2; 3 ] and b = of_list [ 10; 20 ] in
+  Q.merge_into ~src:a ~dst:b;
+  Alcotest.(check bool) "merge_into = merge" true
+    (same_sketch b (of_list [ 1; 2; 3; 10; 20 ]))
+
+let suite =
+  [
+    Alcotest.test_case "basics: count/sum/mean/clamping" `Quick test_basics;
+    Alcotest.test_case "of_counts roundtrip" `Quick test_of_counts_roundtrip;
+    Alcotest.test_case "merge_into matches merge" `Quick test_merge_into;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_merge_associative;
+    QCheck_alcotest.to_alcotest prop_merge_is_union;
+    QCheck_alcotest.to_alcotest prop_rank_error_bound;
+    QCheck_alcotest.to_alcotest prop_small_values_exact;
+    QCheck_alcotest.to_alcotest prop_cell_geometry;
+  ]

@@ -119,7 +119,8 @@ let counter = ref 0
 
 (* each server gets its own socket and its own empty store root, so
    cache counters are exact whatever the ambient REPRO_CACHE_DIR is *)
-let with_server ?(workers = 2) ?(queue_depth = 64) f =
+let with_server ?(workers = 2) ?(queue_depth = 64) ?(obs = false) ?access_log
+    f =
   incr counter;
   let stamp = Printf.sprintf "statsim-test-%d-%d" (Unix.getpid ()) !counter in
   let sock = Filename.concat (Filename.get_temp_dir_name ()) (stamp ^ ".sock") in
@@ -131,8 +132,12 @@ let with_server ?(workers = 2) ?(queue_depth = 64) f =
       Server.Daemon.workers;
       queue_depth;
       cache_dir = Some root;
+      obs;
+      access_log;
     }
   in
+  (* the obs plane is process-global, like the telemetry registry *)
+  if obs then Server.Obs.reset ();
   let t = Server.Daemon.start cfg in
   Fun.protect
     ~finally:(fun () ->
@@ -178,7 +183,7 @@ let test_concurrent_simulate_shared_cache () =
   let expected =
     let env =
       { Server.Ops.cache = Runner.Cache.create (); jobs = 1;
-        check = (fun () -> ()) }
+        check = (fun () -> ()); trace = None }
     in
     match Server.Ops.dispatch env ~op:"simulate" sim_params with
     | Ok r -> Server.Ops.output r
@@ -361,6 +366,172 @@ let test_unknown_op () =
           && String.sub msg 0 10 = "unknown op")
       | _ -> Alcotest.fail "unknown op should answer bad_request")
 
+(* --- observability plane --- *)
+
+let member_exn where j k =
+  match Json.member k j with
+  | Some v -> v
+  | None -> Alcotest.failf "%s: missing %S" where k
+
+let num_exn where j k =
+  match member_exn where j k with
+  | Json.Num v -> int_of_float v
+  | _ -> Alcotest.failf "%s: %S not a number" where k
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_obs_metrics_and_trace () =
+  with_server ~obs:true (fun sock _t ->
+      let oneshot op params = Server.Client.oneshot ~socket:sock ~op params in
+      (* untraced replies stay bare — byte-identity with the CLI path *)
+      let r = result_of "ping" (oneshot "ping" (Json.Obj [])) in
+      check "no uninvited trace field" true (Json.member "trace" r = None);
+      for _ = 1 to 3 do
+        ignore (result_of "ping" (oneshot "ping" (Json.Obj [])))
+      done;
+      (* a bad request is accounted under its outcome code *)
+      (match oneshot "metrics" (Json.Obj [ ("format", Json.Str "surprise") ]) with
+      | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
+      | _ -> Alcotest.fail "unknown format should answer bad_request");
+      (* opt-in trace: the reply carries the request's span tree *)
+      let traced =
+        result_of "traced ping"
+          (oneshot "ping" (Json.Obj [ ("trace", Json.Bool true) ]))
+      in
+      Alcotest.(check string) "traced output unchanged" "pong\n"
+        (Server.Ops.output traced);
+      let tr = member_exn "traced reply" traced "trace" in
+      let root = member_exn "trace" tr "root" in
+      check "root span is request" true
+        (Json.member "name" root = Some (Json.Str "request"));
+      let child_names =
+        match Json.member "children" root with
+        | Some (Json.Arr cs) ->
+          List.filter_map
+            (fun c -> Option.bind (Json.member "name" c) Json.to_str)
+            cs
+        | _ -> []
+      in
+      List.iter
+        (fun stage ->
+          check (stage ^ " span present") true (List.mem stage child_names))
+        [ "parse"; "queue_wait" ];
+      (* the metrics op reports what just happened, per op *)
+      let m =
+        member_exn "metrics reply"
+          (result_of "metrics" (oneshot "metrics" (Json.Obj [])))
+          "metrics"
+      in
+      check "obs enabled" true
+        (Json.member "enabled" m = Some (Json.Bool true));
+      let find_op name =
+        match member_exn "metrics" m "ops" with
+        | Json.Arr ops -> (
+          match
+            List.find_opt
+              (fun o -> Json.member "op" o = Some (Json.Str name))
+              ops
+          with
+          | Some o -> o
+          | None -> Alcotest.failf "metrics: no entry for op %S" name)
+        | _ -> Alcotest.fail "metrics: ops not an array"
+      in
+      let ping = find_op "ping" in
+      Alcotest.(check int) "ping requests" 5 (num_exn "ping" ping "requests");
+      Alcotest.(check int) "ping all ok" 5
+        (num_exn "ping ok" (member_exn "ping" ping "outcomes") "ok");
+      let w1m =
+        member_exn "ping windows" (member_exn "ping" ping "windows") "1m"
+      in
+      Alcotest.(check int) "1m service samples" 5
+        (num_exn "1m service" (member_exn "1m" w1m "service") "count");
+      check "bad_request accounted" true
+        (num_exn "metrics op"
+           (member_exn "metrics op" (find_op "metrics") "outcomes")
+           "bad_request"
+        >= 1);
+      (* prometheus exposition renders through the same op *)
+      let prom =
+        Server.Ops.output
+          (result_of "prometheus"
+             (oneshot "metrics" (Json.Obj [ ("format", Json.Str "prometheus") ])))
+      in
+      List.iter
+        (fun frag ->
+          check ("prometheus has " ^ frag) true (contains prom frag))
+        [ "# TYPE statsim_op_requests_total counter";
+          {|statsim_op_requests_total{op="ping",outcome="ok"} 5|};
+          "statsim_inflight" ];
+      (* the telemetry op returns the registry snapshot *)
+      let t =
+        result_of "telemetry" (oneshot "telemetry" (Json.Obj []))
+      in
+      check "registry snapshot present" true
+        (Json.member "telemetry" t <> None))
+
+let test_obs_access_log () =
+  let log = Filename.temp_file "statsim-test-alog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      with_server ~obs:true ~access_log:log (fun sock _t ->
+          let oneshot op params =
+            Server.Client.oneshot ~socket:sock ~op params
+          in
+          ignore (result_of "ping" (oneshot "ping" (Json.Obj [])));
+          ignore
+            (result_of "traced ping"
+               (oneshot "ping" (Json.Obj [ ("trace", Json.Bool true) ])));
+          match oneshot "frobnicate" (Json.Obj []) with
+          | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
+          | _ -> Alcotest.fail "unknown op should answer bad_request");
+      (* with_server ran [stop]: the drain flushed and closed the log *)
+      let lines =
+        let ic = open_in log in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | l -> go (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      in
+      Alcotest.(check int) "one line per request" 3 (List.length lines);
+      let docs =
+        List.map
+          (fun l ->
+            match Json.of_string l with
+            | Ok d -> d
+            | Error e -> Alcotest.failf "access-log line not JSON (%s): %s" e l)
+          lines
+      in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun k -> ignore (member_exn "access-log line" d k))
+            [ "ts"; "id"; "op"; "outcome"; "queue_ns"; "service_ns";
+              "bytes"; "traced" ])
+        docs;
+      let outcome_of d =
+        Option.bind (Json.member "outcome" d) Json.to_str
+      in
+      Alcotest.(check int) "two ok lines" 2
+        (List.length
+           (List.filter (fun d -> outcome_of d = Some "ok") docs));
+      Alcotest.(check int) "one bad_request line" 1
+        (List.length
+           (List.filter (fun d -> outcome_of d = Some "bad_request") docs));
+      Alcotest.(check int) "one traced line" 1
+        (List.length
+           (List.filter
+              (fun d -> Json.member "traced" d = Some (Json.Bool true))
+              docs)))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_frame_roundtrip;
@@ -378,5 +549,9 @@ let suite =
     Alcotest.test_case "client killed mid-response" `Quick
       test_client_killed_mid_response;
     Alcotest.test_case "malformed input" `Quick test_malformed_input;
+    Alcotest.test_case "obs metrics and request trace" `Quick
+      test_obs_metrics_and_trace;
+    Alcotest.test_case "obs access log flushed on drain" `Quick
+      test_obs_access_log;
     Alcotest.test_case "unknown op" `Quick test_unknown_op;
   ]

@@ -243,6 +243,154 @@ let test_pipeline_stage_spans () =
         [ "profile.collect"; "synth.compile"; "synth.generate";
           "synth.simulate" ])
 
+(* --- rolling windows --- *)
+
+(* deterministic rotation with explicit ~now: a 4 ms window of 4 x 1 ms
+   slots expires observations exactly as now advances past them *)
+let test_window_rotation () =
+  let w = Telemetry.Window.create ~window_ns:4_000 ~slots:4 () in
+  List.iteri
+    (fun i v -> Telemetry.Window.observe ~now:(i * 1_000) w v)
+    [ 10; 20; 30; 40 ];
+  Alcotest.(check int) "all four live" 4
+    (Telemetry.Window.count ~now:3_999 w);
+  let st = Telemetry.Window.query ~now:3_999 w in
+  Alcotest.(check int) "sum" 100 st.Telemetry.Window.w_sum;
+  Alcotest.(check (float 1e-9)) "mean" 25.0 st.Telemetry.Window.w_mean;
+  (* now = 5_500: slots for epochs 0 and 1 (values 10, 20) have aged out *)
+  Alcotest.(check int) "two expired" 2 (Telemetry.Window.count ~now:5_500 w);
+  Alcotest.(check int) "sum after expiry" 70
+    (Telemetry.Window.query ~now:5_500 w).Telemetry.Window.w_sum;
+  (* writing at epoch 5 reuses (and zeroes) the ring slot of epoch 1 *)
+  Telemetry.Window.observe ~now:5_500 w 50;
+  Alcotest.(check int) "rotated slot rejoined" 3
+    (Telemetry.Window.count ~now:5_500 w);
+  Alcotest.(check int) "sum after rotation" 120
+    (Telemetry.Window.query ~now:5_500 w).Telemetry.Window.w_sum;
+  (* far future: everything expired, stat is empty *)
+  Alcotest.(check int) "all expired" 0
+    (Telemetry.Window.count ~now:1_000_000 w);
+  Alcotest.(check bool) "empty stat" true
+    (Telemetry.Window.query ~now:1_000_000 w = Telemetry.Window.empty_stat)
+
+let test_window_quantiles () =
+  let w = Telemetry.Window.create ~window_ns:60_000_000_000 ~slots:6 () in
+  for v = 1 to 100 do
+    Telemetry.Window.observe ~now:0 w v
+  done;
+  let st = Telemetry.Window.query ~now:0 w in
+  let within name exact est =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %d <= %d <= bound" name exact est)
+      true
+      (exact <= est
+      && est - exact
+         <= int_of_float
+              (float_of_int exact *. Stats.Qsketch.relative_error)
+            + 1)
+  in
+  Alcotest.(check int) "count" 100 st.Telemetry.Window.w_count;
+  within "p50" 50 st.Telemetry.Window.w_p50;
+  within "p95" 95 st.Telemetry.Window.w_p95;
+  within "p99" 99 st.Telemetry.Window.w_p99
+
+(* count-only windows (ratio numerators) drop the sketch but keep the
+   count/sum exact *)
+let test_window_count_only () =
+  let w = Telemetry.Window.create ~sketch:false ~window_ns:4_000 ~slots:4 () in
+  Telemetry.Window.observe ~now:0 w 7;
+  Telemetry.Window.observe ~now:0 w 9;
+  let st = Telemetry.Window.query ~now:0 w in
+  Alcotest.(check int) "count" 2 st.Telemetry.Window.w_count;
+  Alcotest.(check int) "sum" 16 st.Telemetry.Window.w_sum;
+  Alcotest.(check int) "no quantiles" 0 st.Telemetry.Window.w_p99
+
+(* the property the per-op SLO instruments rely on: concurrent observes
+   from parallel domains at a fixed now are all accounted, exactly *)
+let prop_window_domains =
+  QCheck.Test.make ~count:10 ~name:"window exact under 4 domains"
+    QCheck.(int_range 1 2_000)
+    (fun n ->
+      let w =
+        Telemetry.Window.create ~window_ns:60_000_000_000 ~slots:6 ()
+      in
+      let domains =
+        Array.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to n do
+                  Telemetry.Window.observe ~now:0 w ((d * 37) + i)
+                done))
+      in
+      Array.iter Domain.join domains;
+      let st = Telemetry.Window.query ~now:0 w in
+      st.Telemetry.Window.w_count = 4 * n
+      && st.Telemetry.Window.w_sum
+         = 4 * (n * (n + 1) / 2) + (n * (0 + 37 + 74 + 111)))
+
+(* rotation under contention: domains racing across slot boundaries may
+   lose observations that land in a slot mid-zeroing (documented benign
+   race), but the window never over-counts or crashes *)
+let prop_window_rotation_hammer =
+  QCheck.Test.make ~count:5 ~name:"window sane under racing rotation"
+    QCheck.(int_range 100 1_000)
+    (fun n ->
+      let w = Telemetry.Window.create ~window_ns:4_000 ~slots:4 () in
+      let last = 7 * 1_000 in
+      let domains =
+        Array.init 4 (fun _ ->
+            Domain.spawn (fun () ->
+                for i = 0 to n - 1 do
+                  (* walk epochs 0..7 over a 4-slot ring: every slot is
+                     rotated concurrently with writers *)
+                  Telemetry.Window.observe ~now:(i * 8 / n * 1_000) w 1
+                done))
+      in
+      Array.iter Domain.join domains;
+      let c = Telemetry.Window.count ~now:last w in
+      c >= 0 && c <= 4 * n)
+
+(* --- request traces --- *)
+
+let test_trace_tree () =
+  let tr = Telemetry.Trace.create ~id:"req-7" () in
+  Alcotest.(check string) "id" "req-7" (Telemetry.Trace.id tr);
+  let v =
+    Telemetry.Trace.span tr "parse" (fun () ->
+        Telemetry.Trace.span tr "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "span passes value through" 42 v;
+  (try Telemetry.Trace.span tr "boom" (fun () -> failwith "x")
+   with Failure _ -> ());
+  Telemetry.Trace.add tr "queue_wait" ~start_ns:0 ~dur_ns:123;
+  Telemetry.Trace.mark tr "check";
+  Telemetry.Trace.mark ~n:3 tr "check";
+  Telemetry.Trace.finish tr;
+  let open Telemetry.Json in
+  let doc = Telemetry.Trace.to_json tr in
+  Alcotest.(check (option string)) "json id" (Some "req-7")
+    (Option.bind (member "id" doc) to_str);
+  let root = Option.get (member "root" doc) in
+  Alcotest.(check (option string)) "root is request" (Some "request")
+    (Option.bind (member "name" root) to_str);
+  let child_names =
+    match member "children" root with
+    | Some (Arr cs) ->
+      List.filter_map (fun c -> Option.bind (member "name" c) to_str) cs
+    | _ -> []
+  in
+  Alcotest.(check (list string)) "children in recording order"
+    [ "parse"; "boom"; "queue_wait" ] child_names;
+  Alcotest.(check (option string)) "parse has nested child" (Some "inner")
+    (match Option.bind (member "children" root) (function
+       | Arr (p :: _) -> member "children" p
+       | _ -> None)
+     with
+    | Some (Arr (i :: _)) -> Option.bind (member "name" i) to_str
+    | _ -> None);
+  Alcotest.(check (option (float 0.0))) "marks accumulate" (Some 4.0)
+    (Option.bind (member "marks" doc) (member "check")
+    |> Fun.flip Option.bind to_num)
+
 (* --- JSON renders --- *)
 
 let golden_snapshot : Telemetry.snapshot =
@@ -372,6 +520,14 @@ let suite =
       test_memo_telemetry_counters;
     Alcotest.test_case "full pipeline fires stage spans" `Quick
       test_pipeline_stage_spans;
+    Alcotest.test_case "window rotation is deterministic" `Quick
+      test_window_rotation;
+    Alcotest.test_case "window quantiles bounded" `Quick
+      test_window_quantiles;
+    Alcotest.test_case "count-only window" `Quick test_window_count_only;
+    QCheck_alcotest.to_alcotest prop_window_domains;
+    QCheck_alcotest.to_alcotest prop_window_rotation_hammer;
+    Alcotest.test_case "request trace span tree" `Quick test_trace_tree;
     Alcotest.test_case "metrics JSON golden render" `Quick
       test_render_json_golden;
     Alcotest.test_case "Json.to_string golden" `Quick
