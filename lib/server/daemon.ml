@@ -141,8 +141,11 @@ let account t job ~outcome ~queue_ns ~dequeue_ns ~timed payload =
     Obs.record ~op:job.req.Protocol.op ~outcome ~queue_ns ~service_ns ();
   (match t.alog with
   | Some log ->
+    (* untimed requests log null timings, not fake zeroes *)
+    let opt v = if timed then Some v else None in
     Obs.Access_log.record log ~id:job.req.Protocol.id
-      ~op:job.req.Protocol.op ~outcome ~queue_ns ~service_ns
+      ~op:job.req.Protocol.op ~outcome ~queue_ns:(opt queue_ns)
+      ~service_ns:(opt service_ns)
       ~bytes:(match payload with Some p -> String.length p | None -> 0)
       ~traced:(job.trace <> None)
   | None -> ());
@@ -323,9 +326,11 @@ let handle_conn t conn =
               ();
           (match t.alog with
           | Some log ->
+            (* a shed never queued or executed: no timings to report *)
             Obs.Access_log.record log ~id:req.Protocol.id ~op:req.Protocol.op
-              ~outcome:(Obs.Err Protocol.Overloaded) ~queue_ns:0 ~service_ns:0
-              ~bytes:(String.length reply) ~traced:(trace <> None)
+              ~outcome:(Obs.Err Protocol.Overloaded) ~queue_ns:None
+              ~service_ns:None ~bytes:(String.length reply)
+              ~traced:(trace <> None)
           | None -> ());
           send_reply t conn reply
         end;
@@ -416,6 +421,9 @@ let accept_loop t =
 let start cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Obs.set_enabled cfg.obs;
+  (* bound metric cardinality: only dispatchable ops get their own
+     cell; client-invented names fold into "unknown" *)
+  Obs.set_known_ops Ops.op_names;
   let ctx =
     Runner.Exec.create_ctx ~jobs:(max 1 cfg.jobs) ?cache_dir:cfg.cache_dir ()
   in

@@ -73,8 +73,24 @@ let cells : (string, cell) Hashtbl.t = Hashtbl.create 16
 let inflight = Atomic.make 0
 let queue_depth = Atomic.make 0
 
+(* Op names are client-supplied strings: without an allowlist, a remote
+   client spamming random names would mint an unbounded number of cells
+   (each holding ~22k window slots) and explode metric cardinality.
+   The daemon registers the dispatchable op set at startup; anything
+   else folds into one "unknown" bucket. The allowlist survives
+   [reset] — it describes the server, not the traffic. *)
+let unknown_op = "unknown"
+let known_ops : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let set_known_ops ops =
+  Mutex.lock registry_mutex;
+  Hashtbl.reset known_ops;
+  List.iter (fun op -> Hashtbl.replace known_ops op ()) ops;
+  Mutex.unlock registry_mutex
+
 let cell op =
   Mutex.lock registry_mutex;
+  let op = if Hashtbl.mem known_ops op then op else unknown_op in
   let c =
     match Hashtbl.find_opt cells op with
     | Some c -> c
@@ -216,12 +232,10 @@ let prometheus ?now () =
       List.iteri
         (fun i (k, lv) ->
           if i > 0 then Buffer.add_char buf ',';
-          Printf.bprintf buf "%s=\"%s\"" k lv)
+          Printf.bprintf buf "%s=\"%s\"" k (Telemetry.prom_escape lv))
         labels;
       Buffer.add_char buf '}');
-    if Float.is_integer v && Float.abs v < 1e15 then
-      Printf.bprintf buf " %d\n" (int_of_float v)
-    else Printf.bprintf buf " %.12g\n" v
+    Printf.bprintf buf " %s\n" (Telemetry.prom_num v)
   in
   let family name typ = Printf.bprintf buf "# TYPE %s %s\n" name typ in
   let cs = sorted_cells () in
@@ -301,6 +315,10 @@ module Access_log = struct
   let record t ~id ~op ~outcome ~queue_ns ~service_ns ~bytes ~traced =
     let n = Atomic.fetch_and_add t.seq 1 in
     if n mod t.sample = 0 then begin
+      (* timings are [None] when nothing was measured (obs disabled and
+         the request untraced, or shed at admission): emit null rather
+         than a 0 that reads as a real zero-latency measurement *)
+      let opt_ns = function Some v -> num v | None -> Json.Null in
       let line =
         Json.to_string
           (Json.Obj
@@ -309,8 +327,8 @@ module Access_log = struct
                ("id", match id with Some i -> num i | None -> Json.Null);
                ("op", Json.Str op);
                ("outcome", Json.Str (outcome_name outcome));
-               ("queue_ns", num queue_ns);
-               ("service_ns", num service_ns);
+               ("queue_ns", opt_ns queue_ns);
+               ("service_ns", opt_ns service_ns);
                ("bytes", num bytes);
                ("traced", Json.Bool traced);
              ])

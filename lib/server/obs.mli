@@ -21,6 +21,14 @@ val outcome_name : outcome -> string
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
+val set_known_ops : string list -> unit
+(** Register the server's dispatchable op set (the daemon does this at
+    startup from [Ops.op_names]). Op names are client-supplied:
+    {!record} folds any op outside this set into a single ["unknown"]
+    cell, so a client spamming random names cannot mint unbounded
+    metric cells. With no registered set, every op is unknown. Survives
+    {!reset}. *)
+
 val record :
   ?now:int ->
   op:string ->
@@ -31,7 +39,8 @@ val record :
   unit
 (** Account one finished (or shed) request. Sheds ([Err Overloaded])
     count toward request totals and the shed ratio but contribute no
-    service/queue sample — they never reached a worker. [?now]
+    service/queue sample — they never reached a worker. Ops outside the
+    {!set_known_ops} set land in the ["unknown"] cell. [?now]
     (monotonic ns) is for deterministic tests. *)
 
 val incr_inflight : unit -> unit
@@ -70,14 +79,17 @@ module Access_log : sig
     id:int option ->
     op:string ->
     outcome:outcome ->
-    queue_ns:int ->
-    service_ns:int ->
+    queue_ns:int option ->
+    service_ns:int option ->
     bytes:int ->
     traced:bool ->
     unit
   (** One JSON object per line: [ts] (unix seconds), [id], [op],
       [outcome], [queue_ns], [service_ns], [bytes] (reply payload
-      size), [traced] (request carried a span tree). *)
+      size), [traced] (request carried a span tree). [queue_ns] /
+      [service_ns] are [None] — logged as JSON null — when the request
+      was never timed: observability disabled and the request untraced,
+      or shed at admission before any clock read. *)
 
   val flush : t -> unit
   val close : t -> unit

@@ -644,10 +644,13 @@ let now_ns () = Int64.to_int (Monotonic_clock.now ())
 module Window = struct
   (* A rotating ring of [nslots] slots, each covering [slot_ns] of
      monotonic time. Slot for time [t]: epoch = t / slot_ns, ring index
-     = epoch mod nslots. An observer that finds its slot stamped with a
-     stale epoch CASes the new epoch in; the CAS winner zeroes the
+     = epoch mod nslots. An observer that finds its slot stamped with an
+     older epoch CASes the new epoch in; the CAS winner zeroes the
      slot's cells before anyone (including itself) accumulates into it.
-     The zeroing is not atomic with respect to concurrent observers of
+     The stamp only ever advances: a delayed observer holding a [now]
+     older than the slot's current epoch drops its observation rather
+     than recycling the slot backwards and zeroing live counts. The
+     zeroing is not atomic with respect to concurrent observers of
      the same new epoch, so a handful of observations can land in a
      cell just before it is zeroed — a benign, monitoring-grade race
      confined to the instant of slot turnover. Queries merge all slots
@@ -697,26 +700,34 @@ module Window = struct
             });
     }
 
-  let slot_for t now =
+  (* [None] when [now]'s epoch is older than the slot's stamp: the slot
+     has already turned over to a newer interval, so the observation is
+     dropped instead of CASing the stamp backwards. The retry on a lost
+     CAS terminates because the stamp strictly advances. *)
+  let rec slot_for t now =
     let epoch = now / t.slot_ns in
     let s = t.ring.(epoch mod t.nslots) in
     let stamped = Atomic.get s.sl_epoch in
-    if stamped <> epoch then
-      if Atomic.compare_and_set s.sl_epoch stamped epoch then begin
-        Array.iter (fun c -> Atomic.set c 0) s.sl_cells;
-        Atomic.set s.sl_count 0;
-        Atomic.set s.sl_sum 0
-      end;
-    s
+    if stamped = epoch then Some s
+    else if stamped > epoch then None
+    else if Atomic.compare_and_set s.sl_epoch stamped epoch then begin
+      Array.iter (fun c -> Atomic.set c 0) s.sl_cells;
+      Atomic.set s.sl_count 0;
+      Atomic.set s.sl_sum 0;
+      Some s
+    end
+    else slot_for t now
 
   let observe ?now t v =
     let now = match now with Some n -> n | None -> now_ns () in
     let v = if v < 0 then 0 else v in
-    let s = slot_for t now in
-    if Array.length s.sl_cells > 0 then
-      ignore (Atomic.fetch_and_add s.sl_cells.(Stats.Qsketch.index v) 1);
-    ignore (Atomic.fetch_and_add s.sl_count 1);
-    ignore (Atomic.fetch_and_add s.sl_sum v)
+    match slot_for t now with
+    | None -> ()
+    | Some s ->
+      if Array.length s.sl_cells > 0 then
+        ignore (Atomic.fetch_and_add s.sl_cells.(Stats.Qsketch.index v) 1);
+      ignore (Atomic.fetch_and_add s.sl_count 1);
+      ignore (Atomic.fetch_and_add s.sl_sum v)
 
   let live t now s =
     let e = Atomic.get s.sl_epoch in

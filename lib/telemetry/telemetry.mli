@@ -287,6 +287,16 @@ val render_text : Format.formatter -> snapshot -> unit
 (** Human-readable block (spans with calls/total/mean/max, then
     counters, then gauges); instruments that never fired are elided. *)
 
+val prom_escape : string -> string
+(** Escape a label value for the Prometheus text format: backslash,
+    double quote, and newline. Any renderer writing label values that
+    are not compile-time literals must pass them through here. *)
+
+val prom_num : float -> string
+(** Render a sample value for the Prometheus text format: integral
+    floats (below 1e15) print as integers, everything else as
+    [%.12g]. *)
+
 val render_prometheus : snapshot -> string
 (** Prometheus text exposition of the registry: [statsim_counter_total]
     and [statsim_gauge] families labelled by instrument name,

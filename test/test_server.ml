@@ -396,6 +396,13 @@ let test_obs_metrics_and_trace () =
       (match oneshot "metrics" (Json.Obj [ ("format", Json.Str "surprise") ]) with
       | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
       | _ -> Alcotest.fail "unknown format should answer bad_request");
+      (* client-invented op names (here one that would also corrupt the
+         Prometheus exposition unescaped) fold into one "unknown" cell
+         instead of minting per-name metric cells *)
+      let evil_op = "no\"such{op}\nname" in
+      (match oneshot evil_op (Json.Obj []) with
+      | Ok { Protocol.outcome = Error (Protocol.Bad_request, _); _ } -> ()
+      | _ -> Alcotest.fail "invented op should answer bad_request");
       (* opt-in trace: the reply carries the request's span tree *)
       let traced =
         result_of "traced ping"
@@ -453,6 +460,17 @@ let test_obs_metrics_and_trace () =
            (member_exn "metrics op" (find_op "metrics") "outcomes")
            "bad_request"
         >= 1);
+      (* the invented op landed in "unknown", not a cell of its own *)
+      Alcotest.(check int) "unknown bucket counts invented op" 1
+        (num_exn "unknown" (find_op "unknown") "requests");
+      (match member_exn "metrics" m "ops" with
+      | Json.Arr ops ->
+        check "no per-name cell for invented op" true
+          (not
+             (List.exists
+                (fun o -> Json.member "op" o = Some (Json.Str evil_op))
+                ops))
+      | _ -> Alcotest.fail "metrics: ops not an array");
       (* prometheus exposition renders through the same op *)
       let prom =
         Server.Ops.output
@@ -464,7 +482,10 @@ let test_obs_metrics_and_trace () =
           check ("prometheus has " ^ frag) true (contains prom frag))
         [ "# TYPE statsim_op_requests_total counter";
           {|statsim_op_requests_total{op="ping",outcome="ok"} 5|};
+          {|statsim_op_requests_total{op="unknown",outcome="bad_request"} 1|};
           "statsim_inflight" ];
+      check "invented op never reaches a label value" false
+        (contains prom "such{op}");
       (* the telemetry op returns the registry snapshot *)
       let t =
         result_of "telemetry" (oneshot "telemetry" (Json.Obj []))
@@ -532,6 +553,30 @@ let test_obs_access_log () =
               (fun d -> Json.member "traced" d = Some (Json.Bool true))
               docs)))
 
+(* with the obs plane off nothing is timed: the access log must report
+   null timings, not zeroes that read as real measurements *)
+let test_access_log_untimed_nulls () =
+  let log = Filename.temp_file "statsim-test-alog-off" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      with_server ~obs:false ~access_log:log (fun sock _t ->
+          ignore
+            (result_of "ping"
+               (Server.Client.oneshot ~socket:sock ~op:"ping" (Json.Obj []))));
+      let ic = open_in log in
+      let line =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+      in
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "access-log line not JSON (%s): %s" e line
+      | Ok d ->
+        List.iter
+          (fun k ->
+            check (k ^ " is null when untimed") true
+              (Json.member k d = Some Json.Null))
+          [ "queue_ns"; "service_ns" ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_frame_roundtrip;
@@ -553,5 +598,7 @@ let suite =
       test_obs_metrics_and_trace;
     Alcotest.test_case "obs access log flushed on drain" `Quick
       test_obs_access_log;
+    Alcotest.test_case "access log nulls untimed fields" `Quick
+      test_access_log_untimed_nulls;
     Alcotest.test_case "unknown op" `Quick test_unknown_op;
   ]

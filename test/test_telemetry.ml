@@ -273,6 +273,21 @@ let test_window_rotation () =
   Alcotest.(check bool) "empty stat" true
     (Telemetry.Window.query ~now:1_000_000 w = Telemetry.Window.empty_stat)
 
+(* the slot stamp only advances: a delayed observer holding a stale now
+   must not recycle a live slot back to an older epoch (zeroing current
+   counts); its observation is dropped instead *)
+let test_window_stale_observer_dropped () =
+  let w = Telemetry.Window.create ~window_ns:4_000 ~slots:4 () in
+  (* epoch 4 maps to ring index 0, same slot as epoch 0 *)
+  Telemetry.Window.observe ~now:4_500 w 50;
+  Alcotest.(check int) "live count" 1 (Telemetry.Window.count ~now:4_500 w);
+  (* a delayed observer from epoch 0 targets the same slot *)
+  Telemetry.Window.observe ~now:100 w 999;
+  Alcotest.(check int) "stale observe dropped, live count kept" 1
+    (Telemetry.Window.count ~now:4_500 w);
+  Alcotest.(check int) "live sum kept" 50
+    (Telemetry.Window.query ~now:4_500 w).Telemetry.Window.w_sum
+
 let test_window_quantiles () =
   let w = Telemetry.Window.create ~window_ns:60_000_000_000 ~slots:6 () in
   for v = 1 to 100 do
@@ -522,6 +537,8 @@ let suite =
       test_pipeline_stage_spans;
     Alcotest.test_case "window rotation is deterministic" `Quick
       test_window_rotation;
+    Alcotest.test_case "window drops stale observers" `Quick
+      test_window_stale_observer_dropped;
     Alcotest.test_case "window quantiles bounded" `Quick
       test_window_quantiles;
     Alcotest.test_case "count-only window" `Quick test_window_count_only;
