@@ -431,6 +431,100 @@ let run_serve () =
               ("plan_compilations", Num (float_of_int st.plan_computes));
             ]))
 
+(* --- variance-aware replication: replicas to reach a CI target --- *)
+
+(* filled by [run_replication]; lands under the summary's "replication"
+   key *)
+let replication_results : (string * Telemetry.Json.t) list ref = ref []
+
+let run_replication () =
+  Format.fprintf ppf
+    "== variance-aware replication: replicas to reach the CI target ==@.";
+  let cfg = Config.Machine.baseline in
+  let spec = Workload.Suite.find "gcc" in
+  (* Fixed sizes, deliberately NOT scaled by REPRO_SCALE: this bench
+     measures statistical efficiency — replicas needed to reach the CI
+     target — which is a property of the noise regime (trace length),
+     not of machine speed. Scaling the trace length would change the
+     per-replica variance and make replica counts incomparable across
+     baseline runs; as it stands every count below is deterministic.
+     Short 2k-instruction traces put per-replica sampling noise — the
+     thing replication fights — in charge of the error budget; the
+     8-per-stratum pilot gives the control-variate coefficient enough
+     degrees of freedom to pass its significance guard. *)
+  let plen = 16_000 and tlen = 2_000 in
+  let ci_target = 3.0 in
+  let pilot = 8 in
+  let p = Statsim.profile cfg (Workload.Suite.stream spec ~length:plen) in
+  let jobs = Runner.Pool.default_jobs () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let line label n rel dt =
+    Format.fprintf ppf "  %-16s %3d replicas   ci95 %5.2f%% of mean   %6.2fs@."
+      label n rel dt
+  in
+  let result_json n rel dt =
+    let open Telemetry.Json in
+    Obj
+      [
+        ("replicas", Num (float_of_int n));
+        ("ci95_rel_pct", Num rel);
+        ("seconds", Num dt);
+      ]
+  in
+  let blind, blind_dt =
+    time (fun () ->
+        Synth.Replicate.run_ci ~jobs ~target_length:tlen cfg p ~master_seed:42
+          ~ci_target)
+  in
+  let blind_n = Synth.Replicate.replicas blind in
+  let blind_rel =
+    if blind.Synth.Replicate.ipc.mean > 0.0 then
+      100.0 *. blind.Synth.Replicate.ipc.ci95 /. blind.Synth.Replicate.ipc.mean
+    else 0.0
+  in
+  line "blind doubling" blind_n blind_rel blind_dt;
+  let strat ~control_variate =
+    time (fun () ->
+        Synth.Stratify.run_ci ~jobs ~target_length:tlen ~pilot ~control_variate
+          cfg p ~master_seed:42 ~ci_target)
+  in
+  let strat_rel (t : Synth.Stratify.t) =
+    if t.ipc.mean > 0.0 then 100.0 *. t.ipc.ci95 /. t.ipc.mean else 0.0
+  in
+  let plain, plain_dt = strat ~control_variate:false in
+  let plain_n = Synth.Stratify.total_replicas plain in
+  line "stratified" plain_n (strat_rel plain) plain_dt;
+  let cv, cv_dt = strat ~control_variate:true in
+  let cv_n = Synth.Stratify.total_replicas cv in
+  line "stratified+cv" cv_n (strat_rel cv) cv_dt;
+  let saved =
+    if blind_n > 0 then float_of_int (blind_n - cv_n) /. float_of_int blind_n
+    else 0.0
+  in
+  Format.fprintf ppf
+    "  strata %d   beta %s   replicas saved vs blind %.0f%%@.@."
+    (Synth.Stratify.strata cv)
+    (match cv.Synth.Stratify.beta with
+    | Some b -> Printf.sprintf "%.3f" b
+    | None -> "none (plain fallback)")
+    (100.0 *. saved);
+  let open Telemetry.Json in
+  replication_results :=
+    [
+      ("ci_target_pct", Num ci_target);
+      ("blind", result_json blind_n blind_rel blind_dt);
+      ("stratified", result_json plain_n (strat_rel plain) plain_dt);
+      ("stratified_cv", result_json cv_n (strat_rel cv) cv_dt);
+      ("strata", Num (float_of_int (Synth.Stratify.strata cv)));
+      ( "beta",
+        match cv.Synth.Stratify.beta with Some b -> Num b | None -> Null );
+      ("replicas_saved_frac", Num saved);
+    ]
+
 (* --- driver --- *)
 
 (* one ctx for the whole invocation: the memo cache shares EDS
@@ -455,7 +549,9 @@ let usage () =
   Format.fprintf ppf "  %-8s %s@." "sweep"
     "64-point design-space sweep: one profile + one plan, points/sec";
   Format.fprintf ppf "  %-8s %s@." "serve"
-    "daemon round-trips: time-to-first-response cold vs warm, requests/sec"
+    "daemon round-trips: time-to-first-response cold vs warm, requests/sec";
+  Format.fprintf ppf "  %-8s %s@." "replication"
+    "replicas to reach the CI target: blind doubling vs stratified+CV"
 
 let run_one id =
   match Experiments.Registry.find id with
@@ -472,6 +568,7 @@ let run_one id =
     else if id = "kernel" then run_kernel ()
     else if id = "sweep" then run_dse ()
     else if id = "serve" then run_serve ()
+    else if id = "replication" then run_replication ()
     else begin
       Format.fprintf ppf "unknown experiment %S@." id;
       usage ();
@@ -543,6 +640,10 @@ let summary_json ts =
       (* daemon round-trip latency and throughput; empty unless the
          "serve" bench ran this invocation *)
       ("serve", Obj !serve_results);
+      (* replicas-to-target-CI comparison (blind doubling vs stratified
+         vs stratified + control variate); empty unless the
+         "replication" bench ran this invocation *)
+      ("replication", Obj !replication_results);
       (* distribution instruments (dependency distances, redirect run
          lengths, pipeline occupancies): totals and means only — the
          full bucket vectors live in the telemetry snapshot. Registered
@@ -589,11 +690,12 @@ let summary_json ts =
     ]
 
 let write_summary ~out =
-  match
-    (List.rev !timings, !streaming_results, !kernel_results, !dse_results)
-  with
-  | [], [], [], [] -> ()
-  | ts, _, _, _ ->
+  let ts = List.rev !timings in
+  if
+    ts = [] && !streaming_results = [] && !kernel_results = []
+    && !dse_results = [] && !replication_results = []
+  then ()
+  else
     let oc = open_out out in
     output_string oc (Telemetry.Json.to_string (summary_json ts));
     output_char oc '\n';
@@ -642,6 +744,7 @@ let () =
     run_micro ();
     run_streaming ();
     run_kernel ();
-    run_dse ()
+    run_dse ();
+    run_replication ()
   | ids -> List.iter run_one ids);
   write_summary ~out

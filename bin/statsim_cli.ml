@@ -2,6 +2,7 @@
 
    Subcommands:
      simulate    run statistical and/or execution-driven simulation
+     estimate    zero-simulation steady-state IPC/mix estimate
      profile     print statistical-profile facts (SFG size, MPKI, ...)
      diag        profile-vs-synthetic-trace divergence diagnostics
      experiment  regenerate one of the paper's tables/figures
@@ -129,7 +130,7 @@ let jopt k f v =
 
 let simulate_cmd =
   let run bench length syn seed k profile_file stream no_compile replicas
-      ci_target jobs json cache_dir =
+      ci_target stratify no_control_variate strata pilot jobs json cache_dir =
     let params =
       Telemetry.Json.Obj
         ([
@@ -139,16 +140,47 @@ let simulate_cmd =
            ("seed", jnum seed);
            ("stream", Telemetry.Json.Bool stream);
            ("no_compile", Telemetry.Json.Bool no_compile);
+           ("stratify", Telemetry.Json.Bool stratify);
+           ("control_variate", Telemetry.Json.Bool (not no_control_variate));
            ("json", Telemetry.Json.Bool json);
          ]
         @ jopt "k" jnum k
         @ jopt "profile" (fun s -> Telemetry.Json.Str s) profile_file
         @ jopt "replicas" jnum replicas
         @ jopt "ci_target" (fun v -> Telemetry.Json.Num v) ci_target
+        @ jopt "strata" jnum strata
+        @ jopt "pilot" jnum pilot
         @ jopt "jobs" jnum jobs)
     in
     let env = Server.Ops.default_env ?jobs ?cache_dir () in
     run_ops env ~op:"simulate" params
+  in
+  let stratify_arg =
+    let doc =
+      "Variance-aware replication: partition the replica budget across SFG \
+       phase strata (k-means over node behaviour), pilot each stratum, then \
+       spend the rest by Neyman allocation; with $(b,--ci-target), \
+       $(b,--replicas) caps the total budget (default 64)."
+    in
+    Arg.(value & flag & info [ "stratify" ] ~doc)
+  in
+  let no_cv_arg =
+    let doc =
+      "With $(b,--stratify): disable the analytical control variate and \
+       report the plain stratified mean."
+    in
+    Arg.(value & flag & info [ "no-control-variate" ] ~doc)
+  in
+  let strata_arg =
+    let doc =
+      "With $(b,--stratify): force exactly $(docv) strata instead of \
+       BIC-selected k-means (up to 4)."
+    in
+    Arg.(value & opt (some int) None & info [ "strata" ] ~docv:"K" ~doc)
+  in
+  let pilot_arg =
+    let doc = "With $(b,--stratify): pilot replicas per stratum (default 3)." in
+    Arg.(value & opt (some int) None & info [ "pilot" ] ~docv:"N" ~doc)
   in
   let jobs_arg =
     let doc = "Worker domains for replicas (never changes the result)." in
@@ -163,7 +195,47 @@ let simulate_cmd =
     Term.(
       const run $ bench_arg $ length_arg $ syn_arg $ seed_arg $ k_opt_arg
       $ load_arg $ stream_arg $ no_compile_arg $ replicas_arg $ ci_target_arg
-      $ jobs_arg $ json_arg $ cache_dir_arg)
+      $ stratify_arg $ no_cv_arg $ strata_arg $ pilot_arg $ jobs_arg $ json_arg
+      $ cache_dir_arg)
+
+(* --- zero-simulation steady-state estimate: statsim estimate --- *)
+
+let estimate_cmd =
+  let run bench length syn reduction k profile_file json cache_dir =
+    let params =
+      Telemetry.Json.Obj
+        ([
+           ("bench", Telemetry.Json.Str bench);
+           ("length", jnum length);
+           ("synthetic", jnum syn);
+           ("json", Telemetry.Json.Bool json);
+         ]
+        @ jopt "reduction" jnum reduction
+        @ jopt "k" jnum k
+        @ jopt "profile" (fun s -> Telemetry.Json.Str s) profile_file)
+    in
+    let env = Server.Ops.default_env ?cache_dir () in
+    run_ops env ~op:"estimate" params
+  in
+  let reduction_arg =
+    let doc =
+      "Analyze the chain at reduction factor $(docv) instead of the \
+       $(b,--synthetic) target length."
+    in
+    Arg.(value & opt (some int) None & info [ "R"; "reduction" ] ~docv:"R" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the estimate as a JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "zero-simulation IPC/mix estimate from the stationary distribution of \
+     the reduced SFG (closed-form, microseconds)"
+  in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(
+      const run $ bench_arg $ length_arg $ syn_arg $ reduction_arg $ k_opt_arg
+      $ load_arg $ json_arg $ cache_dir_arg)
 
 let force_arg =
   let doc = "Overwrite an existing output file." in
@@ -983,5 +1055,6 @@ let () =
   let doc = "statistical simulation for processor design studies (ISCA 2004 reproduction)" in
   let info = Cmd.info "statsim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-       [ simulate_cmd; profile_cmd; diag_cmd; experiment_cmd; dse_cmd;
-         serve_cmd; client_cmd; top_cmd; cache_cmd; dot_cmd; list_cmd ]))
+       [ simulate_cmd; estimate_cmd; profile_cmd; diag_cmd; experiment_cmd;
+         dse_cmd; serve_cmd; client_cmd; top_cmd; cache_cmd; dot_cmd;
+         list_cmd ]))

@@ -1,4 +1,4 @@
-type breakdown = {
+type breakdown = Model.breakdown = {
   base_cpi : float;
   branch_cpi : float;
   imem_cpi : float;
@@ -6,139 +6,14 @@ type breakdown = {
   total_cpi : float;
 }
 
-(* Aggregate the per-node profile statistics into the global rates the
-   closed-form model needs. *)
-type aggregates = {
-  instructions : float;
-  branches : float;
-  mispredicts : float;
-  redirects : float;
-  loads : float;
-  l1d : float;
-  l2d : float;
-  dtlb : float;
-  fetches : float;
-  l1i : float;
-  l2i : float;
-  itlb : float;
-  latency_weight : float;  (** mean execution latency over classes *)
-  dep_pressure : float;
-      (** E[latency / distance]: per-instruction serialization from RAW
-          dependencies; the reciprocal bounds dataflow IPC *)
-}
-
-let aggregate (p : Profile.Stat_profile.t) =
-  let i = ref 0 and br = ref 0 and mis = ref 0 and red = ref 0 in
-  let loads = ref 0 and l1d = ref 0 and l2d = ref 0 and dtlb = ref 0 in
-  let fetches = ref 0 and l1i = ref 0 and l2i = ref 0 and itlb = ref 0 in
-  let lat_sum = ref 0.0 in
-  let pressure_sum = ref 0.0 in
-  Profile.Sfg.iter_nodes p.sfg (fun n ->
-      br := !br + n.br_execs;
-      mis := !mis + n.br_mispredict;
-      red := !red + n.br_redirect;
-      loads := !loads + n.loads;
-      l1d := !l1d + n.l1d_misses;
-      l2d := !l2d + n.l2d_misses;
-      dtlb := !dtlb + n.dtlb_misses;
-      fetches := !fetches + n.fetches;
-      l1i := !l1i + n.l1i_misses;
-      l2i := !l2i + n.l2i_misses;
-      itlb := !itlb + n.itlb_misses;
-      Array.iter
-        (fun (slot : Profile.Sfg.slot) ->
-          let occ = n.occurrences in
-          i := !i + occ;
-          let lat = float_of_int (Config.Machine.op_latency slot.klass) in
-          lat_sum := !lat_sum +. (lat *. float_of_int occ);
-          Array.iter
-            (fun h ->
-              (* each recorded (distance, count) contributes lat/distance *)
-              Stats.Histogram.iter h (fun d c ->
-                  if d > 0 then
-                    pressure_sum :=
-                      !pressure_sum +. (lat /. float_of_int d *. float_of_int c)))
-            slot.deps)
-        n.slots);
-  if !i = 0 then invalid_arg "Analytical.predict: empty profile";
-  let fi = float_of_int !i in
-  {
-    instructions = fi;
-    branches = float_of_int !br;
-    mispredicts = float_of_int !mis;
-    redirects = float_of_int !red;
-    loads = float_of_int !loads;
-    l1d = float_of_int !l1d;
-    l2d = float_of_int !l2d;
-    dtlb = float_of_int !dtlb;
-    fetches = float_of_int !fetches;
-    l1i = float_of_int !l1i;
-    l2i = float_of_int !l2i;
-    itlb = float_of_int !itlb;
-    latency_weight = !lat_sum /. fi;
-    dep_pressure = !pressure_sum /. fi;
-  }
-
-let predict (cfg : Config.Machine.t) p =
-  let a = aggregate p in
-  let per x = x /. a.instructions in
-  (* base component: the machine sustains at most [width] per cycle and
-     at least the dataflow serialization E[lat/dist] per instruction *)
-  let width_cpi = 1.0 /. float_of_int cfg.issue_width in
-  (* dep_pressure sums lat/dist over every operand, which double-counts
-     instructions whose operands share producers and ignores that
-     independent chains interleave; the damping factor is the standard
-     first-order fudge *)
-  let base_cpi = Float.max width_cpi (a.dep_pressure *. 0.35) in
-  (* branch component: a misprediction exposes the front-end refill; a
-     redirection a short bubble — both scale with pipeline occupancy *)
-  let mispredict_penalty =
-    float_of_int (cfg.mispredict_restart + 6)
-    (* restart + refill through IFQ/dispatch *)
-  in
-  let branch_cpi =
-    per a.mispredicts *. mispredict_penalty
-    +. (per a.redirects *. float_of_int cfg.fetch_redirect_penalty)
-  in
-  (* instruction memory: fetch stalls are architecturally exposed *)
-  let l2lat = float_of_int cfg.l2.hit_latency in
-  let memlat = float_of_int cfg.mem_latency in
-  let imem_cpi =
-    per a.l1i *. l2lat
-    +. (per a.l2i *. memlat)
-    +. (per a.itlb *. float_of_int cfg.itlb.miss_penalty)
-  in
-  (* data memory: the window hides part of each load miss; the exposed
-     fraction shrinks with window size relative to the miss latency *)
-  let overlap penalty =
-    let hidden = float_of_int cfg.ruu_size /. float_of_int cfg.issue_width in
-    Float.max 0.15 (1.0 -. (hidden /. (penalty +. hidden)))
-  in
-  (* memory-level parallelism: misses that fit in the window overlap; a
-     global-statistics model cannot see whether misses are dependent
-     (pointer chasing) or independent (streaming), which is exactly the
-     information the SFG-based synthetic trace retains — expect this
-     model to err on chase-heavy workloads *)
-  let mlp rate_per_inst =
-    Float.min 4.0 (Float.max 1.0 (float_of_int cfg.ruu_size *. rate_per_inst))
-  in
-  let dmem_term misses penalty =
-    let r = per misses in
-    r *. penalty *. overlap penalty /. mlp r
-  in
-  let dmem_cpi =
-    dmem_term a.l1d l2lat
-    +. dmem_term a.l2d memlat
-    +. dmem_term a.dtlb (float_of_int cfg.dtlb.miss_penalty)
-  in
-  let total_cpi = base_cpi +. branch_cpi +. imem_cpi +. dmem_cpi in
-  { base_cpi; branch_cpi; imem_cpi; dmem_cpi; total_cpi }
-
+let predict cfg p = Model.predict_aggregates cfg (Model.aggregate p)
 let ipc cfg p = 1.0 /. (predict cfg p).total_cpi
 
-let pp_breakdown ppf b =
+let pp_breakdown ppf (b : breakdown) =
   Format.fprintf ppf
     "@[<h>CPI = %.3f (base %.3f + branch %.3f + imem %.3f + dmem %.3f) -> \
      IPC %.3f@]"
     b.total_cpi b.base_cpi b.branch_cpi b.imem_cpi b.dmem_cpi
     (1.0 /. b.total_cpi)
+
+module Steady_state = Steady_state

@@ -16,7 +16,7 @@
     the [analytical] experiment quantifies where it loses against
     statistical simulation. *)
 
-type breakdown = {
+type breakdown = Model.breakdown = {
   base_cpi : float;  (** width + dataflow component *)
   branch_cpi : float;  (** misprediction and redirect stalls *)
   imem_cpi : float;  (** instruction-fetch miss stalls *)
@@ -30,3 +30,93 @@ val predict : Config.Machine.t -> Profile.Stat_profile.t -> breakdown
 val ipc : Config.Machine.t -> Profile.Stat_profile.t -> float
 
 val pp_breakdown : Format.formatter -> breakdown -> unit
+
+(** Closed-form stationary analysis of the reduced SFG (PR 10): solve
+    [pi P = pi, sum pi = 1] for the generator's Markov chain over
+    surviving nodes — Gaussian elimination with partial pivoting, with
+    a damped power-iteration fallback — and weight the profiled
+    statistics by the stationary vector for a zero-simulation IPC/mix
+    estimate.  Also the control variate feeding [Synth.Stratify]. *)
+module Steady_state : sig
+  type method_ = Direct | Power
+
+  type solution = {
+    pi : float array;  (** stationary distribution; sums to 1 *)
+    solved_by : method_;
+    iterations : int;  (** 0 when solved directly *)
+    residual : float;  (** [max_j |(pi P)_j - pi_j|] *)
+  }
+
+  type rows = (int * float) array array
+  (** Sparse row-stochastic matrix: [rows.(i)] lists
+      [(successor, probability)] pairs. *)
+
+  type graph = {
+    keys : int array;  (** surviving SFG node keys, ascending *)
+    occ : int array;  (** reduced occurrences ([occurrences / R]) *)
+    rows : rows;
+    dead_ends : int;  (** rows rewritten to the restart distribution *)
+  }
+
+  val of_sfg : ?reduction:int -> ?restart:float -> Profile.Sfg.t -> graph
+  (** Transition structure of the reduced SFG: survivors are nodes with
+      [occurrences / R > 0] in key order (the kernel plan's ordering);
+      edges to reduced-away nodes are dropped and dead-end rows become
+      the generator's restart distribution (reduced occurrences).
+      Every other row is mixed with the restart distribution at weight
+      [restart] (default 0.01) — the generator's occupancy-budget
+      renormalisation acts as a global restart, and the mixture makes
+      the chain irreducible so the stationary vector is unique.
+      Raises [Invalid_argument] when reduction empties the graph or
+      [restart] is outside [0, 1). *)
+
+  val solve :
+    ?max_dense:int -> ?tol:float -> ?max_iter:int -> graph -> solution
+  (** Stationary vector of [g.rows], seeded from the reduced-occurrence
+      distribution.  Direct elimination is attempted up to [max_dense]
+      (default 1024) nodes and must pass a residual check; otherwise the
+      damped power iteration runs with convergence guard [tol] (default
+      1e-12) and [max_iter] (default 50000). *)
+
+  val solve_direct : rows -> float array option
+  (** Gaussian elimination with partial pivoting over
+      [(P - I)^T x = 0] plus the normalisation row; [None] when the
+      system is singular (several recurrent classes) or the solution is
+      non-finite / negative. *)
+
+  val power_iteration :
+    ?tol:float ->
+    ?max_iter:int ->
+    ?init:float array ->
+    rows ->
+    float array * int * float
+  (** Damped power iteration [pi <- (pi + pi P) / 2] (same fixed point,
+      aperiodic by construction). Returns (pi, iterations, residual). *)
+
+  val rows_of_dense : float array array -> rows
+  val stationary_dense : ?max_dense:int -> float array array -> solution
+
+  type estimate = {
+    nodes : int;
+    dead_ends : int;
+    solution : solution;
+    mix : (Isa.Iclass.t * float) list;
+        (** stationary instruction-class mix; all 12 classes, sums to 1 *)
+    breakdown : breakdown;
+    ipc : float;
+  }
+
+  val estimate :
+    ?reduction:int ->
+    ?restart:float ->
+    ?max_dense:int ->
+    ?tol:float ->
+    ?max_iter:int ->
+    Config.Machine.t ->
+    Profile.Stat_profile.t ->
+    estimate
+  (** Zero-simulation first-order estimate: stationary node visit
+      frequencies weight each node's profiled statistics
+      ([pi_i / occurrences_i]), which feed the same closed-form CPI
+      arithmetic as {!predict}. *)
+end

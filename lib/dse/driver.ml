@@ -26,7 +26,12 @@ type t = {
 let stat_of samples =
   {
     mean = Stats.Summary.mean samples;
-    ci95 = Stats.Summary.ci95_half_width samples;
+    (* keep the historical 0.0 sentinel for single-replica sweeps;
+       ci95_half_width itself is nan below two samples *)
+    ci95 =
+      (match samples with
+      | [] | [ _ ] -> 0.0
+      | _ -> Stats.Summary.ci95_half_width samples);
   }
 
 (* the same stream-key scheme as Exp_common.src, so a sweep and an

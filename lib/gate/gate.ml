@@ -134,6 +134,29 @@ let default_checks =
         abs_slack = 0.1;
       };
     ]
+  (* variance-aware replication: the replicas-to-target-CI counts are
+     fully deterministic (fixed sizes, fixed master seed, jobs-invariant
+     estimator), so any drift is a behavioral change in the stratified
+     engine and fails in either direction; the wall times are gated like
+     any other timing *)
+  @ List.map
+      (fun kind ->
+        {
+          label = "replication." ^ kind ^ ".replicas";
+          path = [ "replication"; kind; "replicas" ];
+          both_directions = true;
+          abs_slack = 0.5;
+        })
+      [ "blind"; "stratified"; "stratified_cv" ]
+  @ List.map
+      (fun kind ->
+        {
+          label = "replication." ^ kind ^ ".seconds";
+          path = [ "replication"; kind; "seconds" ];
+          both_directions = false;
+          abs_slack = 0.5;
+        })
+      [ "blind"; "stratified_cv" ]
 
 let evaluate ~threshold ~baseline ~current check =
   match (num_field baseline check.path, num_field current check.path) with

@@ -89,6 +89,17 @@ let total_occurrences t =
 let iter_nodes t f = Hashtbl.iter (fun _ n -> f n) t.table
 let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.table []
 
+(* Sub-SFG sharing node records with the parent: stratification slices
+   the graph without copying per-node histograms.  Kernel compilation
+   already drops edges whose successor is absent from the kept set, so
+   shared edge tables are safe downstream. *)
+let restrict t ~keep =
+  let sub = { k = t.k; table = Hashtbl.create 1024 } in
+  Hashtbl.iter
+    (fun key n -> if keep n then Hashtbl.add sub.table key n)
+    t.table;
+  sub
+
 let record_transition node ~succ_key =
   match Hashtbl.find_opt node.edges succ_key with
   | Some r -> incr r

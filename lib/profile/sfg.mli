@@ -76,6 +76,14 @@ val iter_nodes : t -> (node -> unit) -> unit
 val nodes : t -> node list
 val record_transition : node -> succ_key:int -> unit
 
+val restrict : t -> keep:(node -> bool) -> t
+(** Sub-SFG containing exactly the nodes for which [keep] holds.  Node
+    records are SHARED with the parent, not copied — mutation through
+    either graph is visible in both; treat restricted views as
+    read-only.  Edge tables still reference dropped nodes; consumers
+    (kernel compile, steady-state analysis) already ignore edges whose
+    successor is absent. *)
+
 (** Derived per-node probabilities (0 when the denominator is 0). *)
 
 val taken_rate : node -> float

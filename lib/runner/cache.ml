@@ -2,6 +2,7 @@ type t = {
   profiles : Profile.Stat_profile.t Memo.t;
   references : Statsim.result Memo.t;
   plans : Kernel.Plan.t Memo.t;
+  estimates : Analytical.Steady_state.estimate Memo.t;
   store : Store.t option;
   (* actual compute-thunk executions, as opposed to memo misses (which
      also count lookups the store answered): a design-space sweep
@@ -24,6 +25,8 @@ type stats = {
   reference_misses : int;
   plan_hits : int;
   plan_misses : int;
+  estimate_hits : int;
+  estimate_misses : int;
   profile_computes : int;
   plan_computes : int;
   reference_computes : int;
@@ -38,6 +41,7 @@ let create ?store () =
     profiles = Memo.create ~name:"cache.profile" ();
     references = Memo.create ~name:"cache.reference" ();
     plans = Memo.create ~name:"cache.plan" ();
+    estimates = Memo.create ~name:"cache.estimate" ();
     store;
     profile_computes = Atomic.make 0;
     plan_computes = Atomic.make 0;
@@ -63,6 +67,8 @@ let stats t =
     reference_misses = Memo.misses t.references;
     plan_hits = Memo.hits t.plans;
     plan_misses = Memo.misses t.plans;
+    estimate_hits = Memo.hits t.estimates;
+    estimate_misses = Memo.misses t.estimates;
     profile_computes = Atomic.get t.profile_computes;
     plan_computes = Atomic.get t.plan_computes;
     reference_computes = Atomic.get t.reference_computes;
@@ -82,6 +88,8 @@ let stats_json (s : stats) =
       ("reference_misses", n s.reference_misses);
       ("plan_hits", n s.plan_hits);
       ("plan_misses", n s.plan_misses);
+      ("estimate_hits", n s.estimate_hits);
+      ("estimate_misses", n s.estimate_misses);
       ("profile_computes", n s.profile_computes);
       ("plan_computes", n s.plan_computes);
       ("reference_computes", n s.reference_computes);
@@ -170,6 +178,20 @@ let plan t ?reduction ?target_length (p : Profile.Stat_profile.t) =
          never recompiled — Stat_profile.collect carries its own *)
       Telemetry.time span_plan_compile (fun () ->
           Kernel.Compile.plan ~reduction:r p))
+
+(* The instant-answer tier behind the server's `estimate` op: the
+   stationary solve is microseconds, but memoizing the whole estimate
+   record keyed by (profile digest, machine, reduction) makes repeat
+   estimates O(1) lookups and gives cache-stats an observable counter.
+   No store tier — recomputing is cheaper than a disk round trip. *)
+let estimate t ?reduction ?target_length cfg (p : Profile.Stat_profile.t) =
+  let r =
+    Kernel.Compile.derive_reduction ?reduction ?target_length
+      (max 1 p.instructions)
+  in
+  let key = Printf.sprintf "%s|%s|r=%d" (profile_digest t p) (cfg_key cfg) r in
+  Memo.get t.estimates ~key (fun () ->
+      Analytical.Steady_state.estimate ~reduction:r cfg p)
 
 let reference t ?max_instructions ?(perfect_caches = false)
     ?(perfect_bpred = false) cfg ~stream_key mk =

@@ -29,6 +29,8 @@ type stats = {
   reference_misses : int;
   plan_hits : int;
   plan_misses : int;
+  estimate_hits : int;
+  estimate_misses : int;
   profile_computes : int;
       (** actual {!Profile.Stat_profile.collect} executions — unlike
           [profile_misses], lookups the store answered do not count, so
@@ -86,6 +88,18 @@ val plan :
     serves every pipeline configuration of a sweep. Store entries
     round-trip through the exact-integer plan codec and therefore
     sample bit-identically to a freshly compiled plan. *)
+
+val estimate :
+  t ->
+  ?reduction:int ->
+  ?target_length:int ->
+  Config.Machine.t ->
+  Profile.Stat_profile.t ->
+  Analytical.Steady_state.estimate
+(** Memoized {!Analytical.Steady_state.estimate} at the resolved
+    reduction — the instant-answer tier behind the server's [estimate]
+    op. In-memory only (the solve is microseconds; no store round
+    trip). *)
 
 val reference :
   t ->

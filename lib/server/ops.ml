@@ -28,8 +28,8 @@ let tspan env name f =
 
 let op_names =
   [
-    "ping"; "cache-stats"; "simulate"; "replicate"; "diag"; "experiment";
-    "dse"; "sleep"; "telemetry"; "metrics";
+    "ping"; "cache-stats"; "simulate"; "replicate"; "estimate"; "diag";
+    "experiment"; "dse"; "sleep"; "telemetry"; "metrics";
   ]
 
 (* --- params decoding --- *)
@@ -143,6 +143,10 @@ let simulate env ~force_replicas params =
     | None -> if force_replicas then Some 4 else None
   in
   let ci_target = float_opt params "ci_target" in
+  let stratify = bool_def params "stratify" false in
+  let control_variate = bool_def params "control_variate" true in
+  let strata = int_opt params "strata" in
+  let pilot = int_opt params "pilot" in
   let jobs = max 1 (int_def params "jobs" env.jobs) in
   let json = bool_def params "json" false in
   let cfg = Config.Machine.baseline in
@@ -153,7 +157,7 @@ let simulate env ~force_replicas params =
   in
   let buf = Buffer.create 512 in
   (match (replicas, ci_target) with
-  | None, None ->
+  | None, None when not stratify ->
     let spec = find_spec bench in
     env.check ();
     let eds =
@@ -202,6 +206,32 @@ let simulate env ~force_replicas params =
     Printf.bprintf buf "%-22s %10.2f %10.2f\n" "MPKI"
       (Uarch.Metrics.mpki eds.Statsim.metrics)
       (Uarch.Metrics.mpki ss.Statsim.metrics)
+  | _ when stratify ->
+    (* variance-aware replication: stratified seeds + control variate *)
+    let p = collect () in
+    env.check ();
+    let r =
+      tspan env "replicate.run" (fun () ->
+          match ci_target with
+          | Some ci_target ->
+            Synth.Stratify.run_ci ~jobs ~stream ~check:env.check
+              ~target_length:syn ?strata ?pilot ~control_variate
+              ?max_replicas:replicas cfg p ~master_seed:seed ~ci_target
+          | None ->
+            Synth.Stratify.run ~jobs ~stream ~check:env.check
+              ~target_length:syn ?strata ?pilot ~control_variate cfg p
+              ~master_seed:seed
+              ~replicas:(Option.value replicas ~default:16))
+    in
+    tspan env "render" (fun () ->
+        if json then
+          Buffer.add_string buf
+            (Json.to_string (Synth.Stratify.to_json r) ^ "\n")
+        else begin
+          let ppf = Format.formatter_of_buffer buf in
+          Synth.Stratify.render_text ppf r;
+          Format.pp_print_flush ppf ()
+        end)
   | _ ->
     (* replication mode: dispersion across seeds, no EDS reference *)
     let p = collect () in
@@ -228,6 +258,91 @@ let simulate env ~force_replicas params =
           Format.pp_print_flush ppf ()
         end));
   result_obj ~warnings:!warnings buf
+
+(* --- estimate --- *)
+
+let estimate_json (e : Analytical.Steady_state.estimate) =
+  let method_name =
+    match e.solution.solved_by with
+    | Analytical.Steady_state.Direct -> "direct"
+    | Analytical.Steady_state.Power -> "power"
+  in
+  Json.Obj
+    [
+      ("nodes", Json.Num (float_of_int e.nodes));
+      ("dead_ends", Json.Num (float_of_int e.dead_ends));
+      ("method", Json.Str method_name);
+      ("iterations", Json.Num (float_of_int e.solution.iterations));
+      ("residual", Json.Num e.solution.residual);
+      ( "mix",
+        Json.Obj
+          (List.map
+             (fun (c, share) -> (Isa.Iclass.to_string c, Json.Num share))
+             e.mix) );
+      ( "cpi",
+        Json.Obj
+          [
+            ("base", Json.Num e.breakdown.Analytical.base_cpi);
+            ("branch", Json.Num e.breakdown.Analytical.branch_cpi);
+            ("imem", Json.Num e.breakdown.Analytical.imem_cpi);
+            ("dmem", Json.Num e.breakdown.Analytical.dmem_cpi);
+            ("total", Json.Num e.breakdown.Analytical.total_cpi);
+          ] );
+      ("ipc", Json.Num e.ipc);
+    ]
+
+let render_estimate buf (e : Analytical.Steady_state.estimate) =
+  Printf.bprintf buf
+    "steady-state estimate: %d nodes (%d dead ends), solved %s\n" e.nodes
+    e.dead_ends
+    (match e.solution.solved_by with
+    | Analytical.Steady_state.Direct -> "directly"
+    | Analytical.Steady_state.Power ->
+      Printf.sprintf "by power iteration (%d iterations)"
+        e.solution.iterations);
+  Printf.bprintf buf "  residual %.2e\n" e.solution.residual;
+  let ppf = Format.formatter_of_buffer buf in
+  Analytical.pp_breakdown ppf e.breakdown;
+  Format.pp_print_flush ppf ();
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "  stationary mix:";
+  List.iter
+    (fun (c, share) ->
+      if share > 0.0005 then
+        Printf.bprintf buf " %s %.1f%%" (Isa.Iclass.to_string c)
+          (100.0 *. share))
+    e.mix;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "  estimated IPC %.4f\n" e.ipc
+
+(* Zero-simulation instant answer: the stationary solve of the reduced
+   SFG.  The profile comes through the shared cache (the only slow
+   part), the solved estimate through its own memo tier. *)
+let estimate env params =
+  let bench = str_def params "bench" "gcc" in
+  let length = int_def params "length" 300_000 in
+  let syn = int_def params "synthetic" 40_000 in
+  let reduction = int_opt params "reduction" in
+  let k = int_opt params "k" in
+  let profile_file = str_opt params "profile" in
+  let json = bool_def params "json" false in
+  let cfg = Config.Machine.baseline in
+  let warnings = ref [] in
+  let warn m = warnings := m :: !warnings in
+  let p = collect_profile env ~warn cfg ~bench ~length ~k ~profile_file in
+  env.check ();
+  let e =
+    tspan env "estimate.solve" (fun () ->
+        match reduction with
+        | Some r -> Runner.Cache.estimate env.cache ~reduction:r cfg p
+        | None -> Runner.Cache.estimate env.cache ~target_length:syn cfg p)
+  in
+  let buf = Buffer.create 512 in
+  let extra = [ ("estimate", estimate_json e) ] in
+  tspan env "render" (fun () ->
+      if json then Buffer.add_string buf (Json.to_string (estimate_json e) ^ "\n")
+      else render_estimate buf e);
+  result_obj ~extra ~warnings:!warnings buf
 
 (* --- diag --- *)
 
@@ -455,6 +570,7 @@ let dispatch_inner env ~op params =
     | "cache-stats" -> cache_stats env
     | "simulate" -> simulate env ~force_replicas:false params
     | "replicate" -> simulate env ~force_replicas:true params
+    | "estimate" -> estimate env params
     | "diag" -> diag env params
     | "experiment" -> experiment env params
     | "dse" -> dse env params

@@ -40,8 +40,15 @@ val default_env :
     CLI's one-shot environment). *)
 
 val op_names : string list
-(** ["ping"; "cache-stats"; "simulate"; "replicate"; "diag";
-    "experiment"; "dse"; "sleep"; "telemetry"; "metrics"]. *)
+(** ["ping"; "cache-stats"; "simulate"; "replicate"; "estimate";
+    "diag"; "experiment"; "dse"; "sleep"; "telemetry"; "metrics"].
+
+    [simulate]/[replicate] accept stratified-replication params
+    ([stratify], [control_variate], [strata], [pilot]) that route
+    replication-mode requests through {!Synth.Stratify}; [estimate] is
+    the zero-simulation {!Analytical.Steady_state} instant answer
+    (structured reply in its ["estimate"] field, cached through
+    {!Runner.Cache.estimate}). *)
 
 val dispatch :
   env -> op:string -> Telemetry.Json.t -> (Telemetry.Json.t, string) result

@@ -97,6 +97,45 @@ let analyze ?(max_clusters = 10) ?(dims = 16) ?(seed = 1) ~interval gen =
     clusters = List.length !picks;
   }
 
+(* --- SFG phase classification (PR 10) ---------------------------------
+   Stratified replication reuses the same clustering machinery, but over
+   SFG *nodes* instead of execution intervals: each node is summarized
+   by its behavioural rates and k-means groups nodes into phase strata
+   whose replica variance the Neyman allocator can then measure. *)
+
+let node_features (n : Profile.Sfg.node) =
+  let nslots = Array.length n.slots in
+  let insts = float_of_int (max 1 (n.occurrences * nslots)) in
+  let lat_sum =
+    Array.fold_left
+      (fun acc (s : Profile.Sfg.slot) ->
+        acc + Config.Machine.op_latency s.klass)
+      0 n.slots
+  in
+  let lat_mean = float_of_int lat_sum /. float_of_int (max 1 nslots) in
+  [|
+    Profile.Sfg.mispredict_rate n;
+    Profile.Sfg.redirect_rate n;
+    Profile.Sfg.taken_rate n;
+    Profile.Sfg.l1i_rate n;
+    Profile.Sfg.l2i_rate n;
+    Profile.Sfg.itlb_rate n;
+    Profile.Sfg.l1d_rate n;
+    Profile.Sfg.l2d_rate n;
+    Profile.Sfg.dtlb_rate n;
+    float_of_int n.loads /. insts;
+    (* block-shape features, squashed into rate scale so Euclidean
+       distance is not dominated by raw counts *)
+    Float.min 1.0 (float_of_int nslots /. 32.0);
+    Float.min 1.0 (lat_mean /. 10.0);
+  |]
+
+let classify_nodes ?(max_strata = 4) ?(seed = 1) nodes =
+  if nodes = [] then invalid_arg "Simpoint.classify_nodes: no nodes";
+  let points = Array.of_list (List.map node_features nodes) in
+  let rng = Prng.create ~seed in
+  Kmeans.best ~max_clusters:max_strata rng ~points
+
 let skip gen n =
   let rec go i = if i < n then match gen () with None -> () | Some _ -> go (i + 1) in
   go 0

@@ -35,6 +35,18 @@ val analyze :
 val skip : (unit -> Isa.Dyn_inst.t option) -> int -> unit
 (** Fast-forward a generator by [n] instructions. *)
 
+val node_features : Profile.Sfg.node -> float array
+(** Behavioural feature vector of one SFG node — branch, cache and TLB
+    rates plus squashed block-shape terms — the phase-classification
+    input for stratified replication (PR 10). *)
+
+val classify_nodes :
+  ?max_strata:int -> ?seed:int -> Profile.Sfg.node list -> Kmeans.result
+(** Cluster SFG nodes into phase strata over {!node_features} with
+    {!Kmeans.best} (BIC selection up to [max_strata], default 4).
+    Deterministic given the node list order — pass nodes key-sorted.
+    Raises [Invalid_argument] on an empty list. *)
+
 val simulate :
   ?warmup:int ->
   Config.Machine.t ->

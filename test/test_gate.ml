@@ -105,6 +105,22 @@ let test_default_checks_cover_dse () =
   check "dse.profile_collections gated" true (has "dse.profile_collections");
   check "dse.plan_compilations gated" true (has "dse.plan_compilations")
 
+let test_default_checks_cover_replication () =
+  let find l =
+    List.find_opt (fun c -> c.Gate.label = l) Gate.default_checks
+  in
+  (* the replicas-to-target-CI counts are deterministic, so they must be
+     gated against drift in either direction *)
+  List.iter
+    (fun kind ->
+      match find ("replication." ^ kind ^ ".replicas") with
+      | Some c -> check (kind ^ " both directions") true c.Gate.both_directions
+      | None -> Alcotest.failf "replication.%s.replicas not gated" kind)
+    [ "blind"; "stratified"; "stratified_cv" ];
+  match find "replication.blind.seconds" with
+  | Some c -> check "timing one-directional" false c.Gate.both_directions
+  | None -> Alcotest.fail "replication.blind.seconds not gated"
+
 let suite =
   [
     Alcotest.test_case "timing verdicts" `Quick test_timing_verdicts;
@@ -113,4 +129,6 @@ let suite =
     Alcotest.test_case "missing and new" `Quick test_missing_and_new;
     Alcotest.test_case "missing sections" `Quick test_missing_sections;
     Alcotest.test_case "dse checks present" `Quick test_default_checks_cover_dse;
+    Alcotest.test_case "replication checks present" `Quick
+      test_default_checks_cover_replication;
   ]

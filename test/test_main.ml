@@ -19,6 +19,7 @@ let () =
       ("synth", Test_synth.suite);
       ("kernel", Test_kernel.suite);
       ("replicate", Test_replicate.suite);
+      ("stratify", Test_stratify.suite);
       ("hls", Test_hls.suite);
       ("analytical", Test_analytical.suite);
       ("simpoint", Test_simpoint.suite);

@@ -64,6 +64,29 @@ let test_cache_profile_shared () =
   Alcotest.(check bool) "k=2 distinct" true (p3 != p1);
   Alcotest.(check int) "two misses" 2 (Runner.Cache.stats c).profile_misses
 
+let test_cache_estimate_memoized () =
+  (* the zero-simulation steady-state estimate is memoized per
+     (profile, config, reduction): the second lookup answers from the
+     memo and distinct reductions are distinct entries *)
+  let c = Runner.Cache.create () in
+  let cfg = Config.Machine.baseline in
+  let p =
+    Statsim.profile cfg
+      (Workload.Suite.stream (Workload.Suite.find "gzip") ~length:5_000)
+  in
+  let e1 = Runner.Cache.estimate c ~reduction:8 cfg p in
+  let e2 = Runner.Cache.estimate c ~reduction:8 cfg p in
+  Alcotest.(check bool) "same estimate object" true (e1 == e2);
+  let st = Runner.Cache.stats c in
+  Alcotest.(check int) "one miss" 1 st.estimate_misses;
+  Alcotest.(check int) "one hit" 1 st.estimate_hits;
+  let e3 = Runner.Cache.estimate c ~reduction:4 cfg p in
+  Alcotest.(check bool) "other reduction distinct" true (e3 != e1);
+  Alcotest.(check int) "two misses" 2 (Runner.Cache.stats c).estimate_misses;
+  (* the memo returns exactly what a direct solve computes *)
+  let direct = Analytical.Steady_state.estimate ~reduction:8 cfg p in
+  Alcotest.(check (float 1e-12)) "same ipc" direct.ipc e1.ipc
+
 let test_pool_exception () =
   Alcotest.check_raises "re-raises lowest-index failure"
     (Invalid_argument "boom 2") (fun () ->
@@ -121,6 +144,8 @@ let suite =
     Alcotest.test_case "memo concurrent single compute" `Quick
       test_memo_concurrent_single_compute;
     Alcotest.test_case "cache shares profiles" `Quick test_cache_profile_shared;
+    Alcotest.test_case "cache memoizes estimates" `Quick
+      test_cache_estimate_memoized;
     Alcotest.test_case "pool re-raises" `Quick test_pool_exception;
     QCheck_alcotest.to_alcotest test_pool_jobs_equal;
     Alcotest.test_case "plan deterministic across jobs" `Quick

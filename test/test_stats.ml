@@ -145,10 +145,27 @@ let test_sample_stddev () =
 
 let test_student_t95 () =
   Alcotest.(check (float 1e-9)) "df=1" 12.706 (Stats.Summary.student_t95 1);
+  (* n=2 boundary: two samples give one degree of freedom, three give
+     the second table entry — both must hit the table, not the
+     asymptote *)
+  Alcotest.(check (float 1e-9)) "df=2" 4.303 (Stats.Summary.student_t95 2);
   Alcotest.(check (float 1e-9)) "df=3" 3.182 (Stats.Summary.student_t95 3);
-  Alcotest.(check (float 1e-9)) "df=30" 2.042 (Stats.Summary.student_t95 30);
+  (* last table bucket and the crossover to the normal quantile: df=30
+     is still tabulated, df=31 is the first asymptotic value *)
+  Alcotest.(check (float 1e-9)) "df=30 last bucket" 2.042
+    (Stats.Summary.student_t95 30);
+  Alcotest.(check (float 1e-9)) "df=31 crossover" 1.960
+    (Stats.Summary.student_t95 31);
   Alcotest.(check (float 1e-9)) "asymptote" 1.960
     (Stats.Summary.student_t95 1_000);
+  (* the critical value is monotone non-increasing in df across the
+     whole table including the crossover *)
+  for df = 1 to 40 do
+    check
+      (Printf.sprintf "monotone at df=%d" df)
+      true
+      (Stats.Summary.student_t95 (df + 1) <= Stats.Summary.student_t95 df)
+  done;
   Alcotest.check_raises "df=0 rejected"
     (Invalid_argument "Summary.student_t95: df must be >= 1") (fun () ->
       ignore (Stats.Summary.student_t95 0))
@@ -158,11 +175,78 @@ let test_ci95_half_width () =
   Alcotest.(check (float 1e-9)) "four samples"
     (3.182 *. sqrt (5.0 /. 3.0) /. 2.0)
     (Stats.Summary.ci95_half_width [ 1.0; 2.0; 3.0; 4.0 ]);
-  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.Summary.ci95_half_width []);
-  Alcotest.(check (float 1e-9)) "singleton" 0.0
-    (Stats.Summary.ci95_half_width [ 7.0 ]);
+  (* a CI over fewer than two samples is undefined: the pre-PR-10 0.0
+     reported false certainty, so the degenerate cases must yield nan *)
+  check "empty is nan" true
+    (Float.is_nan (Stats.Summary.ci95_half_width []));
+  check "singleton is nan" true
+    (Float.is_nan (Stats.Summary.ci95_half_width [ 7.0 ]));
+  (* two equal samples have zero dispersion but a well-defined interval *)
   Alcotest.(check (float 1e-9)) "constant samples" 0.0
     (Stats.Summary.ci95_half_width [ 2.0; 2.0; 2.0 ])
+
+let test_cv_beta () =
+  (* y = 2x + 1 exactly: beta is the slope *)
+  (match
+     Stats.Summary.cv_beta
+       ~x:[ 1.0; 2.0; 3.0; 4.0 ]
+       ~y:[ 3.0; 5.0; 7.0; 9.0 ]
+   with
+  | Some b -> Alcotest.(check (float 1e-9)) "exact slope" 2.0 b
+  | None -> Alcotest.fail "beta on exact correlation");
+  check "constant control degenerate" true
+    (Stats.Summary.cv_beta ~x:[ 1.0; 1.0; 1.0 ] ~y:[ 1.0; 2.0; 3.0 ] = None);
+  check "single pair degenerate" true
+    (Stats.Summary.cv_beta ~x:[ 1.0 ] ~y:[ 2.0 ] = None);
+  check "length mismatch degenerate" true
+    (Stats.Summary.cv_beta ~x:[ 1.0; 2.0 ] ~y:[ 1.0 ] = None)
+
+let test_combine_strata () =
+  let open Stats.Summary in
+  (* single stratum: exact reduction to the plain mean / t-interval,
+     whatever the weight — including the sub-normal weight scale *)
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  let one =
+    combine_strata
+      [ { weight = 0.25; mean = mean xs; variance = variance xs; n = 4 } ]
+  in
+  Alcotest.(check (float 1e-12)) "one-stratum mean" (mean xs) one.mean;
+  Alcotest.(check (float 1e-12)) "one-stratum ci" (ci95_half_width xs) one.ci95;
+  Alcotest.(check (float 1e-12)) "one-stratum df" 3.0 one.df;
+  (* a single stratum of one replica: undefined interval, not zero *)
+  let tiny =
+    combine_strata [ { weight = 1.0; mean = 5.0; variance = 0.0; n = 1 } ]
+  in
+  check "n=1 ci is nan" true (Float.is_nan tiny.ci95);
+  (* two equal-weight strata with equal variance: the stratified mean
+     is the simple average and the variance halves twice (weight^2 and
+     the per-stratum n) *)
+  let two =
+    combine_strata
+      [
+        { weight = 1.0; mean = 2.0; variance = 4.0; n = 8 };
+        { weight = 1.0; mean = 6.0; variance = 4.0; n = 8 };
+      ]
+  in
+  Alcotest.(check (float 1e-12)) "two-strata mean" 4.0 two.mean;
+  Alcotest.(check (float 1e-12)) "two-strata variance"
+    ((0.25 *. 4.0 /. 8.0) +. (0.25 *. 4.0 /. 8.0))
+    two.variance;
+  check "two-strata ci finite" true (Float.is_finite two.ci95);
+  (* Welch-Satterthwaite df of k equal strata of n replicas each is
+     k * (n - 1) *)
+  Alcotest.(check (float 1e-9)) "ws df" 14.0 two.df;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Summary.combine_strata: no strata") (fun () ->
+      ignore (combine_strata []));
+  Alcotest.check_raises "zero weight rejected"
+    (Invalid_argument "Summary.combine_strata: zero total weight") (fun () ->
+      ignore
+        (combine_strata
+           [
+             { weight = 0.0; mean = 1.0; variance = 1.0; n = 2 };
+             { weight = 0.0; mean = 2.0; variance = 1.0; n = 2 };
+           ]))
 
 let test_histogram_percentile () =
   let h = Stats.Histogram.create () in
@@ -299,6 +383,8 @@ let suite =
     Alcotest.test_case "sample stddev" `Quick test_sample_stddev;
     Alcotest.test_case "student t95" `Quick test_student_t95;
     Alcotest.test_case "ci95 half-width" `Quick test_ci95_half_width;
+    Alcotest.test_case "cv beta" `Quick test_cv_beta;
+    Alcotest.test_case "combine strata" `Quick test_combine_strata;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "histogram percentile after merge" `Quick
       test_histogram_percentile_merge;
